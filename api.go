@@ -1,0 +1,246 @@
+package onepass
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/core"
+	"onepass/internal/dfs"
+	"onepass/internal/disk"
+	"onepass/internal/engine"
+	"onepass/internal/gen"
+	"onepass/internal/hadoop"
+	"onepass/internal/hop"
+	"onepass/internal/sim"
+	"onepass/internal/workloads"
+)
+
+// Engine selects the MapReduce runtime.
+type Engine int
+
+// Available engines.
+const (
+	// Hadoop is the stock sort-merge baseline.
+	Hadoop Engine = iota
+	// MapReduceOnline is the pipelining HOP baseline.
+	MapReduceOnline
+	// HashHybrid is the hash engine with blocking Hybrid Hash grouping.
+	HashHybrid
+	// HashIncremental is the hash engine with incremental per-key states.
+	HashIncremental
+	// HashHotKey adds the frequent-items sketch for hot-key pinning.
+	HashHotKey
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case Hadoop:
+		return "hadoop"
+	case MapReduceOnline:
+		return "mapreduce-online"
+	case HashHybrid:
+		return "hash-hybrid"
+	case HashIncremental:
+		return "hash-incremental"
+	case HashHotKey:
+		return "hash-hotkey"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// Engines lists every engine, for sweeps.
+func Engines() []Engine {
+	return []Engine{Hadoop, MapReduceOnline, HashHybrid, HashIncremental, HashHotKey}
+}
+
+// Re-exported job-building types: jobs and results are shared across all
+// engines.
+type (
+	// Job is a MapReduce job specification.
+	Job = engine.Job
+	// Result is a completed run's output, metrics, and counters.
+	Result = engine.Result
+	// CostModel converts measured work into virtual CPU time.
+	CostModel = engine.CostModel
+	// Emit collects output pairs from user functions.
+	Emit = engine.Emit
+	// Aggregator is the incremental per-key state contract.
+	Aggregator = engine.Aggregator
+	// Workload couples a job template with an input generator.
+	Workload = workloads.Workload
+	// ClickConfig parameterizes the synthetic click log.
+	ClickConfig = gen.ClickConfig
+	// DocConfig parameterizes the synthetic document collection.
+	DocConfig = gen.DocConfig
+	// Snapshot is one early answer (HOP snapshots, hot-key early emits).
+	Snapshot = engine.Snapshot
+)
+
+// Workload constructors (the paper's Table I tasks).
+var (
+	// Sessionization reorders click logs into per-user sessions.
+	Sessionization = workloads.Sessionization
+	// PageFrequency counts visits per URL.
+	PageFrequency = workloads.PageFrequency
+	// PerUserCount counts clicks per user.
+	PerUserCount = workloads.PerUserCount
+	// InvertedIndex builds word -> postings over documents.
+	InvertedIndex = workloads.InvertedIndex
+	// DefaultClickConfig mirrors the World Cup '98 log's skew.
+	DefaultClickConfig = gen.DefaultClickConfig
+	// DefaultDocConfig mirrors GOV2's statistics.
+	DefaultDocConfig = gen.DefaultDocConfig
+)
+
+// Config describes the simulated testbed and engine knobs.
+type Config struct {
+	// Engine picks the runtime.
+	Engine Engine
+
+	// Nodes, CoresPerNode, MemoryPerNode describe the cluster (the paper:
+	// 10 nodes, 1 GB task heap).
+	Nodes         int
+	CoresPerNode  int
+	MemoryPerNode int64
+	// SSDIntermediate gives each node an SSD for intermediate data
+	// (§III.C first experiment).
+	SSDIntermediate bool
+	// SplitStorageCompute dedicates half the nodes to storage (§III.C
+	// second experiment).
+	SplitStorageCompute bool
+
+	// BlockSize is the DFS block / map task granularity.
+	BlockSize int64
+	// Reducers is the number of reduce tasks (0 = 2 per compute node).
+	Reducers int
+	// MemoryPerTask caps per-task buffers (0 = MemoryPerNode / 4).
+	MemoryPerTask int64
+
+	// FanIn is the sort-merge multi-pass factor F.
+	FanIn int
+	// SpillBuckets / HotKeyCounters / ApproximateEarly tune the hash
+	// engine; ChunkBytes / DisableSnapshots tune HOP.
+	SpillBuckets     int
+	HotKeyCounters   int
+	ApproximateEarly bool
+	ChunkBytes       int64
+	DisableSnapshots bool
+	// DisablePush switches the hash engine to pull-only shuffle.
+	DisablePush bool
+
+	// RetainOutput keeps output pairs on the Result; DiscardOutput drops
+	// payloads entirely (sink mode for large benchmark runs).
+	RetainOutput  bool
+	DiscardOutput bool
+}
+
+// DefaultConfig mirrors the paper's testbed at simulation scale.
+func DefaultConfig() Config {
+	return Config{
+		Engine:        Hadoop,
+		Nodes:         10,
+		CoresPerNode:  4,
+		MemoryPerNode: 1 << 30,
+		BlockSize:     dfs.DefaultBlockSize,
+	}
+}
+
+func (c Config) clusterConfig() cluster.Config {
+	cc := cluster.DefaultConfig()
+	if c.Nodes > 0 {
+		cc.Nodes = c.Nodes
+	}
+	if c.CoresPerNode > 0 {
+		cc.CoresPerNode = c.CoresPerNode
+	}
+	if c.MemoryPerNode > 0 {
+		cc.MemoryPerNode = c.MemoryPerNode
+	}
+	cc.SSDIntermediate = c.SSDIntermediate
+	cc.SplitStorage = c.SplitStorageCompute
+	cc.DiskProfile = disk.HDD
+	return cc
+}
+
+// Dataset names an input registered in the simulated DFS.
+type Dataset struct {
+	Path string
+	Size int64
+	// Gen produces block contents deterministically.
+	Gen func(block int, size int64) []byte
+	// ArrivalRate, when positive, streams the data into the system at this
+	// many bytes per virtual second instead of preloading it; map tasks
+	// start on each block as it arrives (the paper's one-pass setting).
+	ArrivalRate float64
+}
+
+// Run executes job over data on a fresh simulated cluster per cfg.
+func Run(cfg Config, data Dataset, job Job) (*Result, error) {
+	env := sim.New()
+	cl := cluster.New(env, cfg.clusterConfig())
+	blockSize := cfg.BlockSize
+	if blockSize <= 0 {
+		blockSize = dfs.DefaultBlockSize
+	}
+	d := dfs.New(cl, blockSize, 1)
+	if data.Gen == nil {
+		return nil, fmt.Errorf("onepass: dataset %q has no generator", data.Path)
+	}
+	if err := d.RegisterStream(data.Path, data.Size, data.ArrivalRate, data.Gen); err != nil {
+		return nil, err
+	}
+	rt := engine.NewRuntime(env, cl, d)
+
+	job.InputPath = data.Path
+	if job.OutputPath == "" {
+		job.OutputPath = "out/" + job.Name
+	}
+	if job.Reducers <= 0 {
+		if cfg.Reducers > 0 {
+			job.Reducers = cfg.Reducers
+		} else {
+			job.Reducers = 2 * len(cl.ComputeNodes())
+		}
+	}
+	if cfg.MemoryPerTask > 0 {
+		job.MemoryPerTask = cfg.MemoryPerTask
+	}
+	job.RetainOutput = cfg.RetainOutput
+	job.DiscardOutput = cfg.DiscardOutput
+
+	switch cfg.Engine {
+	case Hadoop:
+		return hadoop.Run(rt, job, hadoop.Options{FanIn: cfg.FanIn})
+	case MapReduceOnline:
+		return hop.Run(rt, job, hop.Options{
+			FanIn:            cfg.FanIn,
+			ChunkBytes:       cfg.ChunkBytes,
+			DisableSnapshots: cfg.DisableSnapshots,
+		})
+	case HashHybrid, HashIncremental, HashHotKey:
+		mode := core.HybridHash
+		if cfg.Engine == HashIncremental {
+			mode = core.Incremental
+		} else if cfg.Engine == HashHotKey {
+			mode = core.HotKey
+		}
+		return core.Run(rt, job, core.Options{
+			Mode:             mode,
+			DisablePush:      cfg.DisablePush,
+			ChunkBytes:       cfg.ChunkBytes,
+			SpillBuckets:     cfg.SpillBuckets,
+			HotKeyCounters:   cfg.HotKeyCounters,
+			ApproximateEarly: cfg.ApproximateEarly,
+		})
+	default:
+		return nil, fmt.Errorf("onepass: unknown engine %v", cfg.Engine)
+	}
+}
+
+// RunWorkload runs one of the built-in workloads over inputSize bytes of
+// its generated dataset.
+func RunWorkload(cfg Config, w *Workload, inputSize int64) (*Result, error) {
+	return Run(cfg, Dataset{Path: "input/" + w.Name, Size: inputSize, Gen: w.Gen}, w.Job)
+}

@@ -1,0 +1,128 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment (results are
+// cached within the shared session, like the paper plotting one run several
+// ways), prints the paper-vs-measured report, and exports the headline
+// quantities as benchmark metrics.
+//
+// Scale: a 256 GB paper dataset becomes 64 MB by default; set ONEPASS_SCALE
+// (e.g. 0.001) to run closer to paper scale.
+package onepass_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"onepass/internal/experiments"
+)
+
+var (
+	sessOnce sync.Once
+	sess     *experiments.Session
+)
+
+func session() *experiments.Session {
+	sessOnce.Do(func() {
+		sess = experiments.NewSession(experiments.DefaultScale())
+	})
+	return sess
+}
+
+var printed sync.Map
+
+// runReport executes the experiment (cached within the session, so repeat
+// invocations are free), prints the report exactly once, and pins b.N to a
+// single iteration — these are end-to-end simulation runs, not
+// microbenchmarks, and the interesting output is the report itself.
+func runReport(b *testing.B, f func(*experiments.Session) *experiments.Report) *experiments.Report {
+	b.Helper()
+	rep := f(session())
+	if _, dup := printed.LoadOrStore(b.Name(), true); !dup {
+		fmt.Fprintln(os.Stdout, rep.Render())
+	}
+	for i := 1; i < b.N; i++ {
+		_ = f(session()) // cached
+	}
+	return rep
+}
+
+func BenchmarkTableI_Workloads(b *testing.B) {
+	runReport(b, (*experiments.Session).TableI)
+}
+
+func BenchmarkTableII_MapPhaseCPU(b *testing.B) {
+	runReport(b, (*experiments.Session).TableII)
+}
+
+func BenchmarkTableIII_Capabilities(b *testing.B) {
+	runReport(b, (*experiments.Session).TableIII)
+}
+
+func BenchmarkSecIIIB1_ParsingCost(b *testing.B) {
+	runReport(b, (*experiments.Session).ParsingCost)
+}
+
+func BenchmarkSecIIIB2_MapOutputWriteShare(b *testing.B) {
+	runReport(b, (*experiments.Session).MapOutputWriteShare)
+}
+
+func BenchmarkFig2a_TaskTimeline(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig2a)
+}
+
+func BenchmarkFig2b_CPUUtilization(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig2b)
+}
+
+func BenchmarkFig2c_CPUIowait(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig2c)
+}
+
+func BenchmarkFig2d_BytesRead(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig2d)
+}
+
+func BenchmarkFig2e_SSDIntermediate(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig2e)
+}
+
+func BenchmarkFig2f_SplitArchitecture(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig2f)
+}
+
+func BenchmarkFig3_InvertedIndexTimeline(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig3)
+}
+
+func BenchmarkFig4_MapReduceOnline(b *testing.B) {
+	runReport(b, (*experiments.Session).Fig4)
+}
+
+func BenchmarkSecV_HashVsHadoop(b *testing.B) {
+	runReport(b, (*experiments.Session).SecVHashVsHadoop)
+}
+
+func BenchmarkSecV_SpillReduction(b *testing.B) {
+	runReport(b, (*experiments.Session).SecVSpillReduction)
+}
+
+func BenchmarkSecV_IncrementalLatency(b *testing.B) {
+	runReport(b, (*experiments.Session).SecVIncrementalLatency)
+}
+
+func BenchmarkSecI_StreamingArrival(b *testing.B) {
+	runReport(b, (*experiments.Session).Streaming)
+}
+
+func BenchmarkAblation_MergeFanIn(b *testing.B) {
+	runReport(b, (*experiments.Session).AblationFanIn)
+}
+
+func BenchmarkAblation_HOPChunkSize(b *testing.B) {
+	runReport(b, (*experiments.Session).AblationHOPChunk)
+}
+
+func BenchmarkAblation_HotKeyMemory(b *testing.B) {
+	runReport(b, (*experiments.Session).AblationHotKeyMemory)
+}

@@ -1,0 +1,146 @@
+package onepass
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/core"
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/gen"
+	"onepass/internal/hadoop"
+	"onepass/internal/hop"
+	"onepass/internal/sim"
+	"onepass/internal/workloads"
+)
+
+// TopK builds the second stage of a chained analytics pipeline: reading the
+// (name, count) pairs another job wrote, it produces the k most frequent
+// entries — the paper's §IV open question about combiners for "complex
+// analytical tasks such as top-k", answered with a mergeable bounded-state
+// partial top-k. Set the returned job's InputPath to the first stage's
+// OutputPath.
+var TopK = workloads.TopK
+
+// ParseTopK decodes a TopK result value into rank-ordered names and counts.
+var ParseTopK = workloads.ParseTopK
+
+// PageRank pieces (the paper's "graph queries" benchmark extension):
+// PageRankInit seeds every vertex with rank 1/N from the generated graph;
+// PageRankIter is one chained power iteration; DecodeRank unpacks a
+// result value; DefaultGraphConfig parameterizes the synthetic link graph.
+var (
+	PageRankInit       = workloads.PageRankInit
+	PageRankIter       = workloads.PageRankIter
+	DecodeRank         = workloads.DecodeRank
+	DefaultGraphConfig = gen.DefaultGraphConfig
+)
+
+// Trending pieces (the "Twitter feed analysis" benchmark extension):
+// WindowedTopicCounts buckets the event stream into tumbling event-time
+// windows and counts topics per window; TopKPerWindow selects each window's
+// k hottest topics from those counts in a chained second stage.
+var (
+	WindowedTopicCounts = workloads.WindowedTopicCounts
+	TopKPerWindow       = workloads.TopKPerWindow
+)
+
+// GraphConfig parameterizes the synthetic web-link graph.
+type GraphConfig = gen.GraphConfig
+
+// RankScale is PageRank's fixed-point unit (1.0 == 1e9).
+const RankScale = workloads.RankScale
+
+// Cluster is a persistent simulated testbed that can run several jobs in
+// sequence over shared DFS state — the substrate for multi-stage pipelines
+// (count, then top-k) where one job's output is the next job's input.
+type Cluster struct {
+	cfg  Config
+	env  *sim.Env
+	cl   *cluster.Cluster
+	dfs  *dfs.DFS
+	jobs int
+}
+
+// NewCluster builds a testbed from cfg. The Engine and per-job knobs in cfg
+// apply to every job run on it (they can be changed between runs by
+// mutating nothing — pass a different cfg to RunJob's receiver via a new
+// cluster — the engine choice is read at each RunJob call from cfg given
+// at construction).
+func NewCluster(cfg Config) *Cluster {
+	env := sim.New()
+	cl := cluster.New(env, cfg.clusterConfig())
+	blockSize := cfg.BlockSize
+	if blockSize <= 0 {
+		blockSize = dfs.DefaultBlockSize
+	}
+	return &Cluster{cfg: cfg, env: env, cl: cl, dfs: dfs.New(cl, blockSize, 1)}
+}
+
+// Register adds a dataset to the cluster's DFS.
+func (c *Cluster) Register(data Dataset) error {
+	if data.Gen == nil {
+		return fmt.Errorf("onepass: dataset %q has no generator", data.Path)
+	}
+	return c.dfs.RegisterStream(data.Path, data.Size, data.ArrivalRate, data.Gen)
+}
+
+// RunJob executes one job on the cluster. Jobs run sequentially in the same
+// virtual timeline; a job may read a previous job's OutputPath as its
+// InputPath (all part files under it). Do not discard the output of a stage
+// a later stage will read.
+func (c *Cluster) RunJob(job Job) (*Result, error) {
+	c.jobs++
+	if job.OutputPath == "" {
+		job.OutputPath = fmt.Sprintf("out/%s-%d", job.Name, c.jobs)
+	}
+	if job.Reducers <= 0 {
+		if c.cfg.Reducers > 0 {
+			job.Reducers = c.cfg.Reducers
+		} else {
+			job.Reducers = 2 * len(c.cl.ComputeNodes())
+		}
+	}
+	if c.cfg.MemoryPerTask > 0 && job.MemoryPerTask == 0 {
+		job.MemoryPerTask = c.cfg.MemoryPerTask
+	}
+	if !job.RetainOutput && !job.DiscardOutput {
+		job.RetainOutput = c.cfg.RetainOutput
+		job.DiscardOutput = c.cfg.DiscardOutput
+	}
+
+	// Each job gets its own runtime (fresh metrics and timeline) over the
+	// shared cluster, DFS, and virtual clock.
+	rt := engine.NewRuntime(c.env, c.cl, c.dfs)
+	switch c.cfg.Engine {
+	case Hadoop:
+		return hadoop.Run(rt, job, hadoop.Options{FanIn: c.cfg.FanIn})
+	case MapReduceOnline:
+		return hop.Run(rt, job, hop.Options{
+			FanIn:            c.cfg.FanIn,
+			ChunkBytes:       c.cfg.ChunkBytes,
+			DisableSnapshots: c.cfg.DisableSnapshots,
+		})
+	case HashHybrid, HashIncremental, HashHotKey:
+		mode := core.HybridHash
+		if c.cfg.Engine == HashIncremental {
+			mode = core.Incremental
+		} else if c.cfg.Engine == HashHotKey {
+			mode = core.HotKey
+		}
+		return core.Run(rt, job, core.Options{
+			Mode:             mode,
+			DisablePush:      c.cfg.DisablePush,
+			ChunkBytes:       c.cfg.ChunkBytes,
+			SpillBuckets:     c.cfg.SpillBuckets,
+			HotKeyCounters:   c.cfg.HotKeyCounters,
+			ApproximateEarly: c.cfg.ApproximateEarly,
+		})
+	default:
+		return nil, fmt.Errorf("onepass: unknown engine %v", c.cfg.Engine)
+	}
+}
+
+// Now returns the cluster's current virtual time in seconds (advances
+// across chained jobs).
+func (c *Cluster) Now() float64 { return c.env.Now().Seconds() }

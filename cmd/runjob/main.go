@@ -1,0 +1,140 @@
+// Command runjob executes one workload on one engine over the simulated
+// cluster and prints the run's metrics: the quickest way to poke at the
+// system.
+//
+//	runjob -workload sessionization -engine hash-incremental -size 64MB
+//	runjob -workload per-user-count -engine hadoop -ssd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"onepass"
+)
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	return n * mult, err
+}
+
+func main() {
+	log.SetFlags(0)
+	workload := flag.String("workload", "sessionization",
+		"sessionization | page-frequency | per-user-count | inverted-index")
+	engineName := flag.String("engine", "hadoop",
+		"hadoop | hop | hash-hybrid | hash-incremental | hash-hotkey")
+	size := flag.String("size", "32MB", "input size (e.g. 64MB, 1GB)")
+	nodes := flag.Int("nodes", 10, "cluster nodes")
+	reducers := flag.Int("reducers", 20, "reduce tasks")
+	blockSize := flag.String("block", "1MB", "DFS block size")
+	ssd := flag.Bool("ssd", false, "put intermediate data on a per-node SSD")
+	split := flag.Bool("split", false, "split storage/compute nodes")
+	memory := flag.String("taskmem", "", "per-task memory budget (default: node memory / 4)")
+	streamSecs := flag.Float64("stream", 0, "stream the input in over this many virtual seconds (0 = preloaded)")
+	progress := flag.Bool("progress", false, "print task-completion progress")
+	flag.Parse()
+
+	cfg := onepass.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.Reducers = *reducers
+	cfg.SSDIntermediate = *ssd
+	cfg.SplitStorageCompute = *split
+	cfg.DiscardOutput = true
+
+	var err error
+	if cfg.BlockSize, err = parseSize(*blockSize); err != nil {
+		log.Fatalf("bad -block: %v", err)
+	}
+	inputSize, err := parseSize(*size)
+	if err != nil {
+		log.Fatalf("bad -size: %v", err)
+	}
+	if *memory != "" {
+		if cfg.MemoryPerTask, err = parseSize(*memory); err != nil {
+			log.Fatalf("bad -taskmem: %v", err)
+		}
+	}
+
+	switch *engineName {
+	case "hadoop":
+		cfg.Engine = onepass.Hadoop
+	case "hop":
+		cfg.Engine = onepass.MapReduceOnline
+	case "hash-hybrid":
+		cfg.Engine = onepass.HashHybrid
+	case "hash-incremental":
+		cfg.Engine = onepass.HashIncremental
+	case "hash-hotkey":
+		cfg.Engine = onepass.HashHotKey
+	default:
+		log.Fatalf("unknown engine %q", *engineName)
+	}
+
+	var w *onepass.Workload
+	switch *workload {
+	case "sessionization":
+		w = onepass.Sessionization(onepass.DefaultClickConfig())
+	case "page-frequency":
+		w = onepass.PageFrequency(onepass.DefaultClickConfig())
+	case "per-user-count":
+		w = onepass.PerUserCount(onepass.DefaultClickConfig())
+	case "inverted-index":
+		w = onepass.InvertedIndex(onepass.DefaultDocConfig())
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	data := onepass.Dataset{Path: "input/" + w.Name, Size: inputSize, Gen: w.Gen}
+	if *streamSecs > 0 {
+		data.ArrivalRate = float64(inputSize) / *streamSecs
+	}
+	job := w.Job
+	if *progress {
+		job.Progress = func(phase string, done, total int) {
+			if done == total || done%25 == 0 {
+				fmt.Fprintf(os.Stderr, "  %s %d/%d\n", phase, done, total)
+			}
+		}
+	}
+	res, err := onepass.Run(cfg, data, job)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Summary())
+	fmt.Println()
+	fmt.Println("Task timeline:")
+	fmt.Print(res.RenderTimeline(72))
+	fmt.Println()
+	fmt.Printf("cpu-util   |%s| mean=%.2f\n", res.CPUUtil.Downsample(res.CPUUtil.Len()/72+1).Spark(), res.CPUUtil.Mean())
+	fmt.Printf("cpu-iowait |%s| mean=%.2f\n", res.Iowait.Downsample(res.Iowait.Len()/72+1).Spark(), res.Iowait.Mean())
+	fmt.Println()
+	fmt.Println("CPU by phase:")
+	for _, ph := range res.CPU.Phases() {
+		fmt.Printf("  %-14s %8.2f s (%4.1f%%)\n", ph, res.CPU.Seconds(ph), 100*res.CPU.Share(ph))
+	}
+	fmt.Println()
+	fmt.Println("Counters:")
+	for _, name := range res.Counters.Names() {
+		fmt.Printf("  %-28s %.0f\n", name, res.Counters.Get(name))
+	}
+	if len(res.Snapshots) > 0 {
+		fmt.Println()
+		fmt.Printf("Early answers: %d snapshots, first at %v\n", len(res.Snapshots), res.Snapshots[0].At)
+	}
+	os.Exit(0)
+}

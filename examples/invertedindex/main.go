@@ -1,0 +1,60 @@
+// Invertedindex: build a word → postings index over a synthetic web-crawl
+// (the paper's second benchmark application) and query it. Demonstrates a
+// custom use of the retained output: postings decode back into (doc,
+// position) hits.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sort"
+
+	"onepass"
+)
+
+func main() {
+	cfg := onepass.DefaultConfig()
+	cfg.Engine = onepass.HashIncremental
+	cfg.BlockSize = 1 << 20
+	cfg.RetainOutput = true
+
+	docs := onepass.DefaultDocConfig()
+	w := onepass.InvertedIndex(docs)
+	res, err := onepass.RunWorkload(cfg, w, 8<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("index: %d terms\n\n", len(res.Output))
+
+	// Most frequent indexed terms (by posting count).
+	type term struct {
+		word string
+		hits int
+	}
+	terms := make([]term, 0, len(res.Output))
+	for word, postings := range res.Output {
+		terms = append(terms, term{word, len(postings) / 8})
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if terms[i].hits != terms[j].hits {
+			return terms[i].hits > terms[j].hits
+		}
+		return terms[i].word < terms[j].word
+	})
+	fmt.Println("Most frequent indexed terms (stopwords w0..w11 excluded by the map fn):")
+	for _, t := range terms[:8] {
+		fmt.Printf("  %-8s %6d occurrences\n", t.word, t.hits)
+	}
+
+	// Decode one posting list.
+	query := terms[0].word
+	postings := []byte(res.Output[query])
+	fmt.Printf("\nFirst hits for %q:\n", query)
+	for off := 0; off < len(postings) && off < 5*8; off += 8 {
+		doc := binary.BigEndian.Uint32(postings[off:])
+		pos := binary.BigEndian.Uint32(postings[off+4:])
+		fmt.Printf("  doc d%-8d position %d\n", doc, pos)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: count page visits over a synthetic click stream with the
+// hash-based one-pass engine, in ~30 lines of the public API — the paper's
+// "SELECT COUNT(*) FROM visits GROUP BY url" example from §II.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strconv"
+)
+
+import "onepass"
+
+func main() {
+	cfg := onepass.DefaultConfig()
+	cfg.Engine = onepass.HashIncremental
+	cfg.BlockSize = 1 << 20
+	cfg.RetainOutput = true
+
+	w := onepass.PageFrequency(onepass.DefaultClickConfig())
+	res, err := onepass.RunWorkload(cfg, w, 16<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Summary())
+
+	type page struct {
+		url    string
+		visits uint64
+	}
+	pages := make([]page, 0, len(res.Output))
+	for url, count := range res.Output {
+		n, _ := strconv.ParseUint(count, 10, 64)
+		pages = append(pages, page{url, n})
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if pages[i].visits != pages[j].visits {
+			return pages[i].visits > pages[j].visits
+		}
+		return pages[i].url < pages[j].url
+	})
+	fmt.Println("\nTop 10 pages:")
+	for _, p := range pages[:10] {
+		fmt.Printf("  %-20s %8d visits\n", p.url, p.visits)
+	}
+}

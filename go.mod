@@ -1,0 +1,3 @@
+module onepass
+
+go 1.22

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/hadoop"
+	"onepass/internal/hashlib"
+	"onepass/internal/kv"
+	"onepass/internal/sim"
+)
+
+// Mode selects the reduce-side hash technique (§V's three options).
+type Mode int
+
+const (
+	// HybridHash groups with classic Hybrid Hash: still blocking, I/O
+	// comparable to sort-merge, but no sorting CPU.
+	HybridHash Mode = iota
+	// Incremental maintains a per-key state updated as data arrives; fully
+	// pipelined answers when states fit in memory.
+	Incremental
+	// HotKey is Incremental plus a SpaceSaving sketch that keeps frequent
+	// keys' states in memory and spills only cold data; supports early
+	// approximate answers for the hot keys.
+	HotKey
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case HybridHash:
+		return "hybrid-hash"
+	case Incremental:
+		return "incremental"
+	case HotKey:
+		return "hot-key"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// HashFrameworkNsPerRecord is the hash engine's per-record runtime
+// overhead: byte-array data structures avoid the allocation and GC churn
+// behind the baselines' FrameworkNsPerRecord.
+const HashFrameworkNsPerRecord = 2600
+
+// HashSeed seeds the engine's hash family: function 0 is shared with the
+// baselines for partitioning; functions 1.. serve grouping and each
+// recursion level of external hashing.
+const HashSeed = hadoop.PartitionSeed
+
+// Options tunes the hash engine.
+type Options struct {
+	Mode Mode
+	// Push enables eager push shuffle (default). Under backpressure the
+	// engine falls back to pull from the persisted map output.
+	DisablePush bool
+	// ChunkBytes is the push granularity.
+	ChunkBytes int64
+	// BackpressureBytes bounds a reducer's inbound push queue.
+	BackpressureBytes int64
+	// SpillBuckets is the number of hash buckets used for spilled/cold
+	// data (K in DESIGN.md).
+	SpillBuckets int
+	// HotKeyCounters sizes the SpaceSaving sketch (HotKey mode).
+	HotKeyCounters int
+	// ApproximateEarly, in HotKey mode, emits the in-memory hot-key states
+	// as an approximate snapshot the moment all input has arrived, before
+	// the exact completion pass (§V's early answers for hot keys).
+	ApproximateEarly bool
+}
+
+func (o *Options) defaults() {
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = 512 << 10
+	}
+	if o.BackpressureBytes == 0 {
+		o.BackpressureBytes = 8 << 20
+	}
+	if o.SpillBuckets == 0 {
+		o.SpillBuckets = 16
+	}
+	if o.HotKeyCounters == 0 {
+		o.HotKeyCounters = 4096
+	}
+}
+
+// reducerImpl is one reduce-side hash technique.
+type reducerImpl interface {
+	// ingest folds one arriving chunk of encoded (key, value) pairs.
+	ingest(p *sim.Proc, chunk []byte)
+	// finalize emits all results after the last chunk.
+	finalize(p *sim.Proc)
+}
+
+// Run executes job on rt with the hash-based engine.
+func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	blocks, err := rt.InputBlocks(job.InputPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%s: input %q has no blocks (was a chained stage's output discarded?)", "core", job.InputPath)
+	}
+	opts.defaults()
+	if job.Speculation && !opts.DisablePush {
+		return nil, fmt.Errorf("core: speculative execution requires pull shuffle (DisablePush) — duplicate push attempts would double-deliver chunks")
+	}
+	// The byte-array memory management library (§V) removes most of the
+	// per-record object churn the JVM-based baselines pay; calibrated to
+	// land the paper's "up to 48% of CPU cycles" saving.
+	if job.Costs.FrameworkNsPerRecord == 0 {
+		job.Costs.FrameworkNsPerRecord = HashFrameworkNsPerRecord
+	}
+	costs := hadoop.JobCosts(&job)
+	if costs.HashNs == 0 {
+		costs.HashNs = engine.DefaultCosts().HashNs
+	}
+	if costs.UpdateNsPerRecord == 0 {
+		costs.UpdateNsPerRecord = engine.DefaultCosts().UpdateNsPerRecord
+	}
+	res := &engine.Result{Job: job.Name, Engine: "hash-" + opts.Mode.String()}
+	oc := rt.NewOutputCollector(&job, res)
+	reg := rt.NewRegistry(len(blocks))
+	channels := rt.NewPushChannels(job.Reducers, opts.BackpressureBytes)
+	partition := hadoop.Partitioner()
+	agg, mapCombined := jobAggregator(&job)
+
+	rt.StartSampling()
+	mapsWG := rt.RunMaps(&job, blocks, func(p *sim.Proc, node *cluster.Node, b *dfs.Block) {
+		runMapTask(rt, p, node, &job, costs, b, partition, channels, reg, &opts, agg, mapCombined)
+	})
+	redsWG := rt.RunReduces(&job, func(p *sim.Proc, node *cluster.Node, r int) {
+		runReduceTask(rt, p, node, &job, costs, channels[r], reg, oc, r, &opts, agg, mapCombined)
+	})
+	rt.Env.Go("job-controller", func(p *sim.Proc) {
+		mapsWG.Wait(p)
+		for _, pc := range channels {
+			pc.Close()
+		}
+		redsWG.Wait(p)
+		rt.StopSampling()
+	})
+	rt.Env.Run()
+	rt.FinishResult(res)
+	return res, nil
+}
+
+// reduceCtx bundles what every reduce-side technique needs.
+type reduceCtx struct {
+	rt      *engine.Runtime
+	job     *engine.Job
+	costs   engine.CostModel
+	node    *cluster.Node
+	oc      *engine.OutputCollector
+	r       int
+	opts    *Options
+	agg     engine.Aggregator
+	mapComb bool
+	budget  int64
+	// hashAt returns the hash function for recursion level l (level 0 is
+	// the in-memory grouping hash).
+	hashAt func(l int) *hashlib.Func
+}
+
+func newReduceCtx(rt *engine.Runtime, job *engine.Job, costs engine.CostModel,
+	node *cluster.Node, oc *engine.OutputCollector, r int, opts *Options,
+	agg engine.Aggregator, mapCombined bool) *reduceCtx {
+	cache := map[int]*hashlib.Func{}
+	return &reduceCtx{
+		rt: rt, job: job, costs: costs, node: node, oc: oc, r: r, opts: opts,
+		agg: agg, mapComb: mapCombined, budget: rt.TaskMemory(job),
+		hashAt: func(l int) *hashlib.Func {
+			if f, ok := cache[l]; ok {
+				return f
+			}
+			f := hashlib.NewAt(HashSeed, l+1)
+			cache[l] = f
+			return f
+		},
+	}
+}
+
+// chargeFold accounts the CPU of folding n pairs totalling bytes through
+// the hash table.
+func (rc *reduceCtx) chargeFold(p *sim.Proc, n int, bytes int64) {
+	rc.node.Compute(p, engine.Dur(float64(n), rc.costs.HashNs), engine.PhaseHash)
+	rc.node.Compute(p, engine.Dur(float64(n), rc.costs.UpdateNsPerRecord)+
+		engine.Dur(float64(bytes), rc.costs.SerializeNsPerByte), engine.PhaseUpdate)
+	rc.node.Compute(p, engine.Dur(float64(n), rc.costs.FrameworkNsPerRecord), engine.PhaseFramework)
+	rc.rt.Counters.Add(engine.CtrHashOps, float64(n))
+}
+
+// emitFinal emits one key's result and charges finalization CPU.
+func (rc *reduceCtx) emitFinal(p *sim.Proc, key, state []byte) {
+	rc.agg.Final(key, state, func(k, v []byte) {
+		rc.oc.Emit(p, rc.r, rc.node.ID, k, v)
+	})
+	rc.node.Compute(p, engine.Dur(1, rc.costs.ReduceNsPerRecord)+
+		engine.Dur(float64(len(state)), rc.costs.SerializeNsPerByte), engine.PhaseReduce)
+}
+
+func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, pc *engine.PushChannel, reg *engine.Registry,
+	oc *engine.OutputCollector, r int, opts *Options, agg engine.Aggregator, mapCombined bool) {
+
+	rc := newReduceCtx(rt, job, costs, node, oc, r, opts, agg, mapCombined)
+	var impl reducerImpl
+	switch opts.Mode {
+	case HybridHash:
+		impl = newHybridReducer(rc)
+	case Incremental:
+		impl = newIncReducer(rc)
+	case HotKey:
+		impl = newHotReducer(rc)
+	default:
+		panic(fmt.Sprintf("core: unknown mode %v", opts.Mode))
+	}
+
+	// Two arrival paths share the single-threaded reducer state: the push
+	// channel, and a puller that fetches partitions the mappers could not
+	// push (backpressure fallback) or did not push (pull-only mode).
+	done := rt.NewWaitGroup(fmt.Sprintf("hash-red-%d", r), 2)
+	shuffleSpan := rt.Timeline.Begin(engine.SpanShuffle, p.Now())
+
+	rt.Env.Go(fmt.Sprintf("hash-red-%d-pull", r), func(pp *sim.Proc) {
+		seen := 0
+		for {
+			reg.WaitBeyond(pp, seen)
+			for ; seen < reg.Completed(); seen++ {
+				out := reg.Out(seen)
+				if out.WasPushed(r) {
+					continue
+				}
+				data := reg.FetchPart(pp, node.ID, out, r)
+				if len(data) > 0 {
+					impl.ingest(pp, data)
+				}
+				out.ConsumePart(r)
+			}
+			if reg.AllDone() {
+				break
+			}
+		}
+		done.Done()
+	})
+
+	for {
+		chunk, ok := pc.Pop(p)
+		if !ok {
+			break
+		}
+		impl.ingest(p, chunk.Data)
+	}
+	done.Done()
+	done.Wait(p)
+	shuffleSpan.End(p.Now())
+
+	reduceSpan := rt.Timeline.Begin(engine.SpanReduce, p.Now())
+	impl.finalize(p)
+	oc.Close(p, r)
+	reduceSpan.End(p.Now())
+}
+
+// decodePairs walks an encoded chunk.
+func decodePairs(chunk []byte, f func(key, val []byte)) (n int) {
+	d := kv.NewDecoder(chunk)
+	for {
+		k, v, ok := d.Next()
+		if !ok {
+			return n
+		}
+		n++
+		f(k, v)
+	}
+}

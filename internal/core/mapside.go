@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/disk"
+	"onepass/internal/engine"
+	"onepass/internal/hashlib"
+	"onepass/internal/kv"
+	"onepass/internal/sim"
+)
+
+// runMapTask is the hash engine's map side (§V's two options): (1) with no
+// combiner, one scan partitions output with no grouping effort at all;
+// (2) with a combiner, an in-memory hash table per partition performs
+// partial aggregation (hybrid hash degrades to streaming flushes if the
+// table outgrows the task budget). Either way there is no sort — that is
+// the whole point. Output is persisted for fault tolerance (as in stock
+// Hadoop) and then pushed eagerly to the reducers.
+func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner,
+	channels []*engine.PushChannel, reg *engine.Registry, opts *Options,
+	agg engine.Aggregator, mapCombined bool) {
+
+	buf, err := rt.ExecuteMap(p, node, job, b, partition)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	R := job.Reducers
+	chunks := make([][][]byte, R) // per partition: encoded chunks <= ChunkBytes
+	cur := make([][]byte, R)
+	addPair := func(r int, key, val []byte) {
+		cur[r] = kv.AppendPair(cur[r], key, val)
+		if int64(len(cur[r])) >= opts.ChunkBytes {
+			chunks[r] = append(chunks[r], cur[r])
+			cur[r] = nil
+		}
+	}
+
+	if mapCombined {
+		// Map-side hash aggregation: real hash tables, real states.
+		grouping := rt.TaskMemory(job)
+		tables := make([]*stateTable, R)
+		for r := range tables {
+			tables[r] = newStateTable(hashAtShared(1), agg, false)
+		}
+		used := func() int64 {
+			var t int64
+			for _, tb := range tables {
+				t += tb.usedBytes()
+			}
+			return t
+		}
+		flushTables := func() {
+			for r, tb := range tables {
+				tb.iterate(func(k, s []byte) bool {
+					addPair(r, k, s)
+					return true
+				})
+				tables[r] = newStateTable(hashAtShared(1), agg, false)
+			}
+		}
+		n := buf.Len()
+		var inBytes int64
+		for i := 0; i < n; i++ {
+			r := buf.Partition(i)
+			tables[r].fold(buf.Key(i), buf.Val(i), formIncoming)
+			inBytes += int64(len(buf.Key(i)) + len(buf.Val(i)))
+			if i%1024 == 1023 && used() > grouping {
+				flushTables()
+			}
+		}
+		node.Compute(p, engine.Dur(float64(n), costs.HashNs), engine.PhaseHash)
+		node.Compute(p, engine.Dur(float64(n), costs.UpdateNsPerRecord), engine.PhaseCombine)
+		rt.Counters.Add(engine.CtrHashOps, float64(n))
+		flushTables()
+	} else {
+		// Option (1): single partitioning scan, no grouping at all.
+		for i := 0; i < buf.Len(); i++ {
+			addPair(buf.Partition(i), buf.Key(i), buf.Val(i))
+		}
+	}
+	for r := 0; r < R; r++ {
+		if len(cur[r]) > 0 {
+			chunks[r] = append(chunks[r], cur[r])
+			cur[r] = nil
+		}
+	}
+
+	// Persist the map output for fault tolerance as one indexed file
+	// (charging the synchronous write), then push.
+	store := node.ScratchStore()
+	out := engine.NewMapOutput(p, store,
+		fmt.Sprintf("%s/hashmap-%05d/file.out", job.Name, b.Index),
+		b.Index, node.ID, R,
+		func(r int) []byte {
+			var enc []byte
+			for _, c := range chunks[r] {
+				enc = append(enc, c...)
+			}
+			return enc
+		})
+	outBytes := out.File.Size()
+	node.Compute(p, engine.Dur(float64(outBytes), costs.SerializeNsPerByte), engine.PhaseMapFn)
+	rt.Counters.Add(engine.CtrMapWrittenBytes, float64(outBytes))
+	// Completion is registered only after the push loop below resolves
+	// which partitions were fully delivered, so pull-side reducers never
+	// see a stale Pushed flag.
+	defer reg.Complete(out)
+
+	if opts.DisablePush {
+		return
+	}
+	// Eager push with a non-blocking fallback: the moment a reducer's queue
+	// refuses a chunk, the rest of that partition is staged as a "leftover"
+	// file the reducer pulls later. The mapper never stalls — unlike HOP's
+	// adaptive wait, the hash engine's push is best-effort because the
+	// persisted copy already guarantees delivery.
+	out.Leftover = make([]*disk.File, R)
+	for r := 0; r < R; r++ {
+		toNode := rt.ReducerNode(r).ID
+		var leftover []byte
+		for i, c := range chunks[r] {
+			if leftover == nil && channels[r].TryPush(p, node.ID, toNode, b.Index, c) {
+				continue
+			}
+			if leftover == nil {
+				leftover = make([]byte, 0, int64(len(chunks[r])-i)*opts.ChunkBytes)
+			}
+			leftover = append(leftover, c...)
+		}
+		if leftover == nil {
+			out.Pushed[r] = true
+			continue
+		}
+		lf := store.Create(fmt.Sprintf("%s/hashmap-%05d/leftover-%05d", job.Name, b.Index, r), false)
+		store.Append(p, lf, leftover)
+		rt.Counters.Add(engine.CtrMapSpillBytes, float64(len(leftover)))
+		out.Leftover[r] = lf
+	}
+	// Every partition is now either push-delivered or staged in a leftover
+	// file; the persisted copy served its fault-tolerance write and can be
+	// released to bound host memory.
+	out.ReleaseFile()
+}
+
+// hashAtShared returns hash family member i; the family is deterministic,
+// so constructing per call keeps map tasks free of shared mutable state.
+func hashAtShared(i int) *hashlib.Func {
+	return hashlib.NewAt(HashSeed, i)
+}

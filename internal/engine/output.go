@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"fmt"
+
+	"onepass/internal/kv"
+	"onepass/internal/sim"
+)
+
+// OutputCollector funnels reducer emits into DFS part files and the Result,
+// recording first-output latency — the observable that distinguishes
+// incremental engines from blocking ones.
+type OutputCollector struct {
+	rt      *Runtime
+	job     *Job
+	res     *Result
+	writers map[int]*dfsWriterRef
+}
+
+type dfsWriterRef struct {
+	append func(p *sim.Proc, data []byte)
+	buf    []byte
+}
+
+// outputFlushBytes is the per-reducer write-behind buffer for job output —
+// emits stream into memory and hit the DFS in large sequential appends.
+const outputFlushBytes = 128 << 10
+
+// NewOutputCollector returns a collector for job writing under
+// job.OutputPath (part-r-N per reducer).
+func (rt *Runtime) NewOutputCollector(job *Job, res *Result) *OutputCollector {
+	if job.RetainOutput {
+		res.Output = make(map[string]string)
+	}
+	return &OutputCollector{rt: rt, job: job, res: res, writers: make(map[int]*dfsWriterRef)}
+}
+
+// Emit writes one output pair from reducer r running on node.
+func (oc *OutputCollector) Emit(p *sim.Proc, r int, nodeID int, key, val []byte) {
+	w := oc.writers[r]
+	if w == nil {
+		path := fmt.Sprintf("%s/part-r-%05d", oc.job.OutputPath, r)
+		dw, err := oc.rt.DFS.CreateWriter(path, nodeID, oc.job.DiscardOutput)
+		if err != nil {
+			panic(fmt.Sprintf("engine: creating output %s: %v", path, err))
+		}
+		w = &dfsWriterRef{append: dw.Append}
+		oc.writers[r] = w
+	}
+	enc := kv.AppendPair(nil, key, val)
+	node := oc.rt.Cluster.Node(nodeID)
+	node.Compute(p, Dur(float64(len(enc)), oc.job.Costs.merged().SerializeNsPerByte), PhaseReduce)
+	w.buf = append(w.buf, enc...)
+	if len(w.buf) >= outputFlushBytes {
+		w.append(p, w.buf)
+		w.buf = nil
+	}
+
+	if !oc.res.haveFirst {
+		oc.res.haveFirst = true
+		oc.res.FirstOutputAt = p.Now()
+	}
+	oc.res.OutputPairs++
+	oc.res.OutputBytes += int64(len(enc))
+	oc.rt.Counters.Add(CtrOutputBytes, float64(len(enc)))
+	if oc.job.RetainOutput {
+		oc.res.Output[string(key)] = string(val)
+	}
+}
+
+// Close flushes reducer r's buffered output; every engine's reduce task
+// calls it once after its last emit.
+func (oc *OutputCollector) Close(p *sim.Proc, r int) {
+	w := oc.writers[r]
+	if w == nil || len(w.buf) == 0 {
+		return
+	}
+	w.append(p, w.buf)
+	w.buf = nil
+}
+
+// NoteSnapshot records an early-answer snapshot on the result.
+func (oc *OutputCollector) NoteSnapshot(at sim.Time, fraction float64, pairs int) {
+	oc.res.Snapshots = append(oc.res.Snapshots, Snapshot{At: at, Fraction: fraction, Pairs: pairs})
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/metrics"
+	"onepass/internal/sim"
+)
+
+// Runtime bundles the simulated substrate a job runs on plus the metric
+// collectors every engine feeds: the virtual iostat/ps of the paper's
+// profiling harness.
+type Runtime struct {
+	Env      *sim.Env
+	Cluster  *cluster.Cluster
+	DFS      *dfs.DFS
+	Timeline *metrics.Timeline
+	Counters *metrics.Counters
+
+	sampler *metrics.Sampler
+	// start and cpuBase make results job-relative when several jobs chain
+	// on one shared cluster/virtual clock.
+	start   sim.Time
+	cpuBase *metrics.CPUAccount
+
+	CPUUtil      *metrics.Series
+	Iowait       *metrics.Series
+	BytesRead    *metrics.Series
+	BytesWritten *metrics.Series
+	NetBytes     *metrics.Series
+}
+
+// SampleInterval is the metrics bucket width: 1 virtual second, like the
+// paper's profiler.
+const SampleInterval = sim.Second
+
+// NewRuntime wires a runtime over the given substrate and registers the
+// standard probes at the default 1 s sample interval.
+func NewRuntime(env *sim.Env, c *cluster.Cluster, d *dfs.DFS) *Runtime {
+	return NewRuntimeSampled(env, c, d, SampleInterval)
+}
+
+// NewRuntimeSampled is NewRuntime with an explicit metrics bucket width,
+// for small-scale runs whose phases are shorter than a virtual second.
+func NewRuntimeSampled(env *sim.Env, c *cluster.Cluster, d *dfs.DFS, sample sim.Duration) *Runtime {
+	rt := &Runtime{
+		Env:      env,
+		Cluster:  c,
+		DFS:      d,
+		Timeline: metrics.NewTimeline(),
+		Counters: metrics.NewCounters(),
+		start:    env.Now(),
+		cpuBase:  c.CPUAccount().Clone(),
+	}
+	rt.sampler = metrics.NewSampler(env, sample)
+	cores := float64(c.TotalCores())
+	interval := sample.Seconds()
+	rt.CPUUtil = rt.sampler.TrackDelta("cpu-util", "fraction",
+		func() float64 { return c.CPUBusyIntegral() }, 1/(cores*interval))
+	rt.Iowait = rt.sampler.TrackDelta("cpu-iowait", "fraction",
+		func() float64 { return c.IowaitIntegral() }, 1/(cores*interval))
+	rt.BytesRead = rt.sampler.TrackDelta("disk-bytes-read", "bytes",
+		func() float64 { return c.DiskBytesRead() }, 1)
+	rt.BytesWritten = rt.sampler.TrackDelta("disk-bytes-written", "bytes",
+		func() float64 { return c.DiskBytesWritten() }, 1)
+	rt.NetBytes = rt.sampler.TrackDelta("net-bytes", "bytes",
+		func() float64 { return c.Net.BytesTransferred() }, 1)
+	return rt
+}
+
+// InputBlocks resolves a job's input: a registered file's blocks, or — for
+// chained jobs reading a previous job's output directory — the blocks of
+// every part file under the path.
+func (rt *Runtime) InputBlocks(path string) ([]*dfs.Block, error) {
+	if blocks, err := rt.DFS.Blocks(path); err == nil {
+		return blocks, nil
+	}
+	return rt.DFS.BlocksUnder(path)
+}
+
+// StartSampling begins the periodic metric snapshots.
+func (rt *Runtime) StartSampling() { rt.sampler.Start() }
+
+// StopSampling ends them at the sampler's next tick.
+func (rt *Runtime) StopSampling() { rt.sampler.Stop() }
+
+// WaitGroup is a virtual-time completion barrier.
+type WaitGroup struct {
+	n    int
+	trig *sim.Trigger
+}
+
+// NewWaitGroup returns a barrier expecting n completions.
+func (rt *Runtime) NewWaitGroup(name string, n int) *WaitGroup {
+	return &WaitGroup{n: n, trig: rt.Env.NewTrigger(name)}
+}
+
+// Done marks one completion.
+func (w *WaitGroup) Done() {
+	w.n--
+	if w.n < 0 {
+		panic("engine: WaitGroup over-done")
+	}
+	if w.n == 0 {
+		w.trig.Broadcast()
+	}
+}
+
+// Wait blocks p until the count drains.
+func (w *WaitGroup) Wait(p *sim.Proc) {
+	for w.n > 0 {
+		w.trig.Wait(p)
+	}
+}
+
+// Pending returns the remaining count.
+func (w *WaitGroup) Pending() int { return w.n }
+
+// Result is everything a job run reports: the paper's tables come from the
+// counters and CPU account, the figures from the series and timeline.
+type Result struct {
+	Job    string
+	Engine string
+
+	Makespan sim.Duration
+
+	// Output holds the job's output pairs when Job.RetainOutput is set.
+	Output      map[string]string
+	OutputPairs int
+	OutputBytes int64
+
+	// FirstOutputAt is when the first output pair was produced — the
+	// incremental-processing latency metric. Zero time means no output.
+	FirstOutputAt sim.Time
+	haveFirst     bool
+	Snapshots     []Snapshot
+
+	CPU      *metrics.CPUAccount
+	Counters *metrics.Counters
+
+	CPUUtil      *metrics.Series
+	Iowait       *metrics.Series
+	BytesRead    *metrics.Series
+	BytesWritten *metrics.Series
+	NetBytes     *metrics.Series
+	Timeline     *metrics.Timeline
+}
+
+// Shared counter names.
+const (
+	CtrMapInputBytes    = "map.input.bytes"
+	CtrMapInputRecords  = "map.input.records"
+	CtrMapOutputBytes   = "map.output.bytes"
+	CtrMapOutputRecords = "map.output.records"
+	CtrShuffleBytes     = "shuffle.bytes"
+	CtrReduceSpillBytes = "reduce.spill.bytes"
+	CtrMapSpillBytes    = "map.spill.bytes"
+	CtrSortComparisons  = "sort.comparisons"
+	CtrMergeComparisons = "merge.comparisons"
+	CtrHashOps          = "hash.ops"
+	CtrMergePasses      = "merge.passes"
+	CtrOutputBytes      = "output.bytes"
+	CtrMapTasks         = "map.tasks"
+	CtrReduceTasks      = "reduce.tasks"
+	// CtrMapOutputWriteSeconds accumulates virtual seconds map tasks spent
+	// blocked in the synchronous map-output write (§III.B.2).
+	CtrMapOutputWriteSeconds = "map.output.write.seconds"
+	// CtrMapWrittenBytes is post-combine map output actually persisted —
+	// Table I's "Map output data" column (CtrMapOutputBytes counts raw
+	// emissions before combining).
+	CtrMapWrittenBytes = "map.output.written.bytes"
+	// CtrMapTasksReexecuted counts map tasks re-run after their output was
+	// lost to a node failure.
+	CtrMapTasksReexecuted = "map.tasks.reexecuted"
+	// CtrMapTasksSpeculative counts speculative (backup) attempts launched;
+	// the Wasted variant counts attempts that lost the commit race.
+	CtrMapTasksSpeculative       = "map.tasks.speculative"
+	CtrMapTasksSpeculativeWasted = "map.tasks.speculative.wasted"
+)
+
+// FinishResult snapshots runtime state into a Result after Env.Run has
+// drained.
+func (rt *Runtime) FinishResult(res *Result) {
+	res.Makespan = rt.Env.Now().Sub(rt.start)
+	res.CPU = rt.Cluster.CPUAccount()
+	res.CPU.Sub(rt.cpuBase)
+	res.Counters = rt.Counters
+	res.CPUUtil = rt.CPUUtil
+	res.Iowait = rt.Iowait
+	res.BytesRead = rt.BytesRead
+	res.BytesWritten = rt.BytesWritten
+	res.NetBytes = rt.NetBytes
+	res.Timeline = rt.Timeline
+}
+
+// RenderTimeline draws the run's task timeline as per-phase sparklines at
+// the metrics bucket width.
+func (r *Result) RenderTimeline(width int) string {
+	return r.Timeline.Render(r.CPUUtil.Bucket, sim.Time(int64(r.Makespan)), width)
+}
+
+// Summary renders the headline numbers.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s/%s: makespan=%v cpu=%.1fs output=%d pairs (%s), first output at %v",
+		r.Engine, r.Job, r.Makespan, r.CPU.Total(), r.OutputPairs,
+		metrics.FormatBytes(float64(r.OutputBytes)), r.FirstOutputAt)
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/sim"
+)
+
+// DefaultMapSlots is Hadoop's classic 2 concurrent map tasks per node.
+const DefaultMapSlots = 2
+
+func (j *Job) mapSlots() int {
+	if j.MapSlotsPerNode > 0 {
+		return j.MapSlotsPerNode
+	}
+	return DefaultMapSlots
+}
+
+func (j *Job) reduceSlots(computeNodes int) int {
+	if j.ReduceSlotsPerNode > 0 {
+		return j.ReduceSlotsPerNode
+	}
+	// Default: enough slots that all reducers of the job run concurrently,
+	// as in the paper's configuration (e.g. 60 reducers on 10 nodes).
+	s := (j.Reducers + computeNodes - 1) / computeNodes
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// TaskMemory returns the per-task buffer budget.
+func (rt *Runtime) TaskMemory(j *Job) int64 {
+	if j.MemoryPerTask > 0 {
+		return j.MemoryPerTask
+	}
+	return rt.Cluster.Config().MemoryPerNode / 4
+}
+
+// RunMaps schedules one map task per input block across compute-node map
+// slots with data-local placement preference (block-level scheduling,
+// §II.A). It returns a WaitGroup that drains when every block is mapped.
+// Each task is wrapped in a SpanMap timeline span.
+func (rt *Runtime) RunMaps(job *Job, blocks []*dfs.Block, task func(p *sim.Proc, node *cluster.Node, b *dfs.Block)) *WaitGroup {
+	wg := rt.NewWaitGroup("maps:"+job.Name, len(blocks))
+	pending := append([]*dfs.Block(nil), blocks...)
+	// take returns the next runnable block for nodeID (local preferred), or
+	// nil with how long to wait for the next streamed block to arrive
+	// (§I's one-pass setting: tasks start as data arrives, not after a
+	// loading phase). wait <= 0 with a nil block means the queue drained.
+	take := func(nodeID int) (*dfs.Block, sim.Duration) {
+		if len(pending) == 0 {
+			return nil, 0
+		}
+		now := rt.Env.Now()
+		pick := -1
+		var soonest sim.Time = -1
+		for i, b := range pending {
+			if b.AvailableAt <= now {
+				if b.IsLocal(nodeID) {
+					pick = i
+					break
+				}
+				if pick < 0 {
+					pick = i
+				}
+			} else if soonest < 0 || b.AvailableAt < soonest {
+				soonest = b.AvailableAt
+			}
+		}
+		if pick < 0 {
+			return nil, soonest.Sub(now)
+		}
+		b := pending[pick]
+		pending = append(pending[:pick], pending[pick+1:]...)
+		return b, 0
+	}
+	// flight tracks one block's attempts for speculative execution: the
+	// first finished attempt wins; others are wasted work (counted).
+	type flight struct {
+		b        *dfs.Block
+		start    sim.Time
+		done     bool
+		attempts int
+	}
+	var inFlight []*flight
+	pickStraggler := func() *flight {
+		var oldest *flight
+		for _, fl := range inFlight {
+			if fl.done || fl.attempts > 1 {
+				continue
+			}
+			if oldest == nil || fl.start < oldest.start {
+				oldest = fl
+			}
+		}
+		return oldest
+	}
+	for _, node := range rt.Cluster.ComputeNodes() {
+		node := node
+		for s := 0; s < job.mapSlots(); s++ {
+			rt.Env.Go(fmt.Sprintf("map-slot-n%d-%d", node.ID, s), func(p *sim.Proc) {
+				run := func(fl *flight) {
+					span := rt.Timeline.Begin(SpanMap, p.Now())
+					task(p, node, fl.b)
+					span.End(p.Now())
+					if !fl.done {
+						fl.done = true
+						rt.Counters.Add(CtrMapTasks, 1)
+						wg.Done()
+						if job.Progress != nil {
+							job.Progress("map", len(blocks)-wg.Pending(), len(blocks))
+						}
+					}
+				}
+				for {
+					if node.Failed() {
+						return
+					}
+					b, wait := take(node.ID)
+					if b != nil {
+						fl := &flight{b: b, start: p.Now(), attempts: 1}
+						inFlight = append(inFlight, fl)
+						run(fl)
+						continue
+					}
+					if wait > 0 {
+						p.Sleep(wait)
+						continue
+					}
+					// Queue drained: optionally back up the oldest
+					// still-running attempt (speculative execution).
+					if !job.Speculation {
+						return
+					}
+					fl := pickStraggler()
+					if fl == nil {
+						return
+					}
+					fl.attempts++
+					rt.Counters.Add(CtrMapTasksSpeculative, 1)
+					run(fl)
+				}
+			})
+		}
+	}
+	return wg
+}
+
+// RunReduces starts job.Reducers reduce tasks round-robin across compute
+// nodes, each holding a reduce slot for its lifetime. Phase spans inside a
+// reduce task (shuffle/merge/reduce) are the engine's responsibility.
+func (rt *Runtime) RunReduces(job *Job, task func(p *sim.Proc, node *cluster.Node, r int)) *WaitGroup {
+	nodes := rt.Cluster.ComputeNodes()
+	wg := rt.NewWaitGroup("reduces:"+job.Name, job.Reducers)
+	slots := make(map[int]*sim.Resource, len(nodes))
+	for _, n := range nodes {
+		slots[n.ID] = rt.Env.NewResource(fmt.Sprintf("reduce-slots-n%d-%s", n.ID, job.Name), job.reduceSlots(len(nodes)))
+	}
+	for r := 0; r < job.Reducers; r++ {
+		r := r
+		node := nodes[r%len(nodes)]
+		rt.Env.Go(fmt.Sprintf("reduce-%d-n%d", r, node.ID), func(p *sim.Proc) {
+			slot := slots[node.ID]
+			slot.Acquire(p, 1)
+			task(p, node, r)
+			slot.Release(1)
+			rt.Counters.Add(CtrReduceTasks, 1)
+			wg.Done()
+			if job.Progress != nil {
+				job.Progress("reduce", job.Reducers-wg.Pending(), job.Reducers)
+			}
+		})
+	}
+	return wg
+}
+
+// ReducerNode returns the node reducer r runs on under RunReduces placement.
+func (rt *Runtime) ReducerNode(r int) *cluster.Node {
+	nodes := rt.Cluster.ComputeNodes()
+	return nodes[r%len(nodes)]
+}

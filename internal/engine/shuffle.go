@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"fmt"
+
+	"onepass/internal/disk"
+	"onepass/internal/sim"
+)
+
+// MapOutput is one completed map task's partitioned output, persisted on
+// the mapper node's scratch store as a single partition-ordered file plus
+// an index — Hadoop's file.out/file.out.index layout, whose synchronous
+// write the paper measures in §III.B.2.
+type MapOutput struct {
+	TaskID int
+	Node   int
+	Store  *disk.Store
+
+	// File holds all partitions back to back; PartOff/PartLen index them.
+	File    *disk.File
+	PartOff []int64
+	PartLen []int64
+
+	// Leftover, when non-nil for a partition, supersedes the main file for
+	// pull fetches: the hash engine stages chunks it could not push there.
+	Leftover []*disk.File
+
+	CompletedAt sim.Time
+	// Pushed marks partitions already delivered through push shuffle, so
+	// pull-side fetchers skip them.
+	Pushed []bool
+	// Lost marks the output as unavailable (its node failed); fetches
+	// trigger re-execution of the map task.
+	Lost bool
+
+	consumed int
+}
+
+// NewMapOutput writes buf's partitions (already grouped by partition) as
+// one file on node's scratch store and returns the indexed output.
+// Callers charge serialization CPU themselves.
+func NewMapOutput(p *sim.Proc, store *disk.Store, name string, taskID, node, parts int,
+	encoded func(part int) []byte) *MapOutput {
+	out := &MapOutput{
+		TaskID: taskID, Node: node, Store: store,
+		PartOff: make([]int64, parts), PartLen: make([]int64, parts),
+		Pushed: make([]bool, parts),
+	}
+	var all []byte
+	for r := 0; r < parts; r++ {
+		enc := encoded(r)
+		out.PartOff[r] = int64(len(all))
+		out.PartLen[r] = int64(len(enc))
+		all = append(all, enc...)
+	}
+	out.File = store.Create(name, false)
+	if len(all) > 0 {
+		store.Append(p, out.File, all)
+	}
+	return out
+}
+
+// Parts returns the number of reduce partitions.
+func (o *MapOutput) Parts() int { return len(o.PartLen) }
+
+// PartSize returns the byte size of partition part.
+func (o *MapOutput) PartSize(part int) int64 {
+	if o.Leftover != nil && o.Leftover[part] != nil {
+		return o.Leftover[part].Size()
+	}
+	return o.PartLen[part]
+}
+
+// PartData returns partition part's encoded pairs without charging I/O.
+func (o *MapOutput) PartData(part int) []byte {
+	if o.Leftover != nil && o.Leftover[part] != nil {
+		return o.Leftover[part].Data()
+	}
+	if o.File == nil || o.File.Data() == nil {
+		return nil
+	}
+	off := o.PartOff[part]
+	return o.File.Data()[off : off+o.PartLen[part]]
+}
+
+// ConsumePart releases partition part after its one consumer fetched it;
+// when every partition is consumed the backing file is deleted so host
+// memory stays bounded across large runs.
+func (o *MapOutput) ConsumePart(part int) {
+	if o.Leftover != nil && o.Leftover[part] != nil {
+		o.Store.Delete(o.Leftover[part].Name())
+		o.Leftover[part] = nil
+		return
+	}
+	o.consumed++
+	if o.consumed >= len(o.PartLen) && o.File != nil {
+		o.Store.Delete(o.File.Name())
+	}
+}
+
+// ReleaseFile drops the persisted copy early (hash engine: everything was
+// pushed, the file existed only for fault tolerance).
+func (o *MapOutput) ReleaseFile() {
+	if o.File != nil {
+		o.Store.Delete(o.File.Name())
+		o.File = nil
+	}
+}
+
+// WasPushed reports whether partition part was already push-delivered.
+func (o *MapOutput) WasPushed(part int) bool {
+	return o.Pushed != nil && o.Pushed[part]
+}
+
+// Registry is the pull-shuffle rendezvous: the centralized service reducers
+// poll for completed mappers (§II.A). Completions are broadcast so waiting
+// fetchers wake immediately rather than on a poll interval — the paper's
+// "data transfer happens soon after a mapper completes".
+type Registry struct {
+	rt        *Runtime
+	totalMaps int
+	outs      []*MapOutput
+	byTask    map[int]bool
+	trig      *sim.Trigger
+	// FreshWindow is how long a completed map output is assumed to remain
+	// in the mapper's page cache; fetches within it skip the source disk
+	// read.
+	FreshWindow sim.Duration
+	// Reexec, when set, re-runs a lost map task on the given node and
+	// returns its fresh output — the fault-tolerance path that justifies
+	// persisting map output in the first place (§III.B.2).
+	Reexec func(p *sim.Proc, nodeID, taskID int) *MapOutput
+	// reexecWait serializes recovery: the first fetcher of a lost output
+	// re-runs the task, later fetchers wait for it instead of piling on.
+	reexecWait map[int]*sim.Trigger
+}
+
+// NewRegistry returns a registry expecting totalMaps completions.
+func (rt *Runtime) NewRegistry(totalMaps int) *Registry {
+	return &Registry{
+		rt:          rt,
+		totalMaps:   totalMaps,
+		byTask:      make(map[int]bool),
+		trig:        rt.Env.NewTrigger("map-completions"),
+		FreshWindow: 30 * sim.Second,
+		reexecWait:  make(map[int]*sim.Trigger),
+	}
+}
+
+// Complete registers a finished map task and wakes waiting fetchers. It is
+// idempotent per task id: a speculative attempt that loses the race has its
+// output discarded, exactly like Hadoop killing the backup task's commit.
+// It reports whether this attempt won.
+func (g *Registry) Complete(out *MapOutput) bool {
+	if g.byTask[out.TaskID] {
+		out.ReleaseFile()
+		g.rt.Counters.Add(CtrMapTasksSpeculativeWasted, 1)
+		return false
+	}
+	g.byTask[out.TaskID] = true
+	out.CompletedAt = g.rt.Env.Now()
+	if g.rt.Cluster.Node(out.Node).Failed() {
+		// The task finished writing to a machine that just died: the bytes
+		// are gone; the first fetch will trigger re-execution.
+		out.Lost = true
+	}
+	g.outs = append(g.outs, out)
+	if len(g.outs) > g.totalMaps {
+		panic("engine: more map completions than map tasks")
+	}
+	g.trig.Broadcast()
+	return true
+}
+
+// FailNode marks every completed output persisted on node as lost.
+func (g *Registry) FailNode(node int) {
+	for _, out := range g.outs {
+		if out.Node == node {
+			out.Lost = true
+		}
+	}
+}
+
+// Completed returns the number of registered map outputs.
+func (g *Registry) Completed() int { return len(g.outs) }
+
+// TotalMaps returns the expected number of map tasks.
+func (g *Registry) TotalMaps() int { return g.totalMaps }
+
+// AllDone reports whether every map task has completed.
+func (g *Registry) AllDone() bool { return len(g.outs) == g.totalMaps }
+
+// Out returns the i-th completed map output (completion order).
+func (g *Registry) Out(i int) *MapOutput { return g.outs[i] }
+
+// WaitBeyond blocks p until more than seen outputs exist or all maps are
+// done.
+func (g *Registry) WaitBeyond(p *sim.Proc, seen int) {
+	for len(g.outs) <= seen && !g.AllDone() {
+		g.trig.Wait(p)
+	}
+}
+
+// FetchPart transfers partition part of a completed map output to
+// readerNode, charging the source disk (unless still fresh in cache) and
+// the network, and returns the encoded pair bytes. The caller must
+// ConsumePart afterwards.
+func (g *Registry) FetchPart(p *sim.Proc, readerNode int, out *MapOutput, part int) []byte {
+	for out.Lost {
+		if g.Reexec == nil {
+			panic("engine: lost map output with no re-execution path")
+		}
+		if tr, inFlight := g.reexecWait[out.TaskID]; inFlight {
+			// Another reducer is already recovering this task.
+			tr.Wait(p)
+			continue
+		}
+		tr := g.rt.Env.NewTrigger(fmt.Sprintf("reexec-%d", out.TaskID))
+		g.reexecWait[out.TaskID] = tr
+		fresh := g.Reexec(p, readerNode, out.TaskID)
+		out.Store = fresh.Store
+		out.File = fresh.File
+		out.PartOff, out.PartLen = fresh.PartOff, fresh.PartLen
+		out.Leftover = fresh.Leftover
+		out.Node = fresh.Node
+		out.CompletedAt = p.Now()
+		out.Lost = false
+		delete(g.reexecWait, out.TaskID)
+		tr.Broadcast()
+		g.rt.Counters.Add(CtrMapTasksReexecuted, 1)
+	}
+	size := out.PartSize(part)
+	if size == 0 {
+		return nil
+	}
+	data := out.PartData(part)
+	if p.Now().Sub(out.CompletedAt) > g.FreshWindow {
+		// Aged out of the mapper's memory: read back from its disk, as a
+		// random access competing with everything else on that spindle.
+		out.Store.Device().Read(p, size, false)
+	}
+	g.rt.Cluster.Net.Transfer(p, out.Node, readerNode, size)
+	g.rt.Counters.Add(CtrShuffleBytes, float64(size))
+	return data
+}
+
+// PushChunk is one eagerly-pushed piece of map output (HOP-style pipelining
+// and the hash engine's push shuffle).
+type PushChunk struct {
+	FromNode int
+	MapTask  int
+	Data     []byte
+}
+
+// PushChannel is one reducer's inbound push queue with a byte-bounded
+// backpressure threshold: when the reducer falls behind, TryPush refuses
+// and the mapper stages the chunk to local disk instead — MapReduce
+// Online's adaptive flow control (§III.D).
+type PushChannel struct {
+	rt          *Runtime
+	reducer     int
+	queue       []PushChunk
+	queuedBytes int64
+	limit       int64
+	trig        *sim.Trigger
+	closed      bool
+}
+
+// NewPushChannels returns one channel per reducer with the given
+// backpressure limit in bytes.
+func (rt *Runtime) NewPushChannels(reducers int, limit int64) []*PushChannel {
+	out := make([]*PushChannel, reducers)
+	for r := range out {
+		out[r] = &PushChannel{
+			rt:      rt,
+			reducer: r,
+			limit:   limit,
+			trig:    rt.Env.NewTrigger(fmt.Sprintf("push-r%d", r)),
+		}
+	}
+	return out
+}
+
+// TryPush attempts to push data from fromNode to the reducer (running on
+// toNode). It returns false without transferring when the queue is over its
+// backpressure limit.
+func (pc *PushChannel) TryPush(p *sim.Proc, fromNode, toNode, mapTask int, data []byte) bool {
+	if pc.queuedBytes >= pc.limit {
+		return false
+	}
+	if pc.closed {
+		panic("engine: push to closed channel")
+	}
+	pc.rt.Cluster.Net.Transfer(p, fromNode, toNode, int64(len(data)))
+	pc.rt.Counters.Add(CtrShuffleBytes, float64(len(data)))
+	pc.queue = append(pc.queue, PushChunk{FromNode: fromNode, MapTask: mapTask, Data: data})
+	pc.queuedBytes += int64(len(data))
+	pc.trig.Broadcast()
+	return true
+}
+
+// Pop blocks p until a chunk is available or the channel is closed and
+// drained; ok=false means end of stream.
+func (pc *PushChannel) Pop(p *sim.Proc) (PushChunk, bool) {
+	for len(pc.queue) == 0 {
+		if pc.closed {
+			return PushChunk{}, false
+		}
+		pc.trig.Wait(p)
+	}
+	c := pc.queue[0]
+	pc.queue = pc.queue[1:]
+	pc.queuedBytes -= int64(len(c.Data))
+	pc.trig.Broadcast() // wake throttled producers polling for space
+	return c, true
+}
+
+// QueuedBytes returns the bytes currently enqueued.
+func (pc *PushChannel) QueuedBytes() int64 { return pc.queuedBytes }
+
+// Close marks end of stream and wakes consumers.
+func (pc *PushChannel) Close() {
+	pc.closed = true
+	pc.trig.Broadcast()
+}
+
+// WaitSpace blocks p until the queue is under its limit or closed.
+func (pc *PushChannel) WaitSpace(p *sim.Proc) {
+	for pc.queuedBytes >= pc.limit && !pc.closed {
+		pc.trig.Wait(p)
+	}
+}

@@ -1,0 +1,106 @@
+// Package enginetest holds the shared fixture for engine correctness tests:
+// it stands up a small simulated cluster, registers a workload's generated
+// input in the DFS, and checks engine output against the workload's
+// single-threaded reference evaluation.
+package enginetest
+
+import (
+	"testing"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/sim"
+	"onepass/internal/workloads"
+)
+
+// Fixture is one prepared job run.
+type Fixture struct {
+	RT     *engine.Runtime
+	Job    engine.Job
+	Blocks [][]byte
+}
+
+// Config tunes the fixture.
+type Config struct {
+	Nodes      int
+	BlockSize  int64
+	InputSize  int64
+	Reducers   int
+	MemPerTask int64
+	Cluster    func(*cluster.Config) // optional extra cluster tweaks
+}
+
+// New builds a runtime and job for the workload.
+func New(t *testing.T, w *workloads.Workload, cfg Config) *Fixture {
+	t.Helper()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 64 << 10
+	}
+	if cfg.InputSize == 0 {
+		cfg.InputSize = 4 * cfg.BlockSize
+	}
+	if cfg.Reducers == 0 {
+		cfg.Reducers = 4
+	}
+	env := sim.New()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = cfg.Nodes
+	ccfg.CoresPerNode = 2
+	if cfg.Cluster != nil {
+		cfg.Cluster(&ccfg)
+	}
+	c := cluster.New(env, ccfg)
+	d := dfs.New(c, cfg.BlockSize, 1)
+	if err := d.RegisterGenerated("input/"+w.Name, cfg.InputSize, w.Gen); err != nil {
+		t.Fatal(err)
+	}
+	rt := engine.NewRuntime(env, c, d)
+
+	job := w.Job
+	job.InputPath = "input/" + w.Name
+	job.OutputPath = "output/" + w.Name
+	job.Reducers = cfg.Reducers
+	job.RetainOutput = true
+	if cfg.MemPerTask > 0 {
+		job.MemoryPerTask = cfg.MemPerTask
+	}
+
+	blocks, err := d.Blocks(job.InputPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		raw[i] = w.Gen(b.Index, b.Size)
+	}
+	return &Fixture{RT: rt, Job: job, Blocks: raw}
+}
+
+// CheckOutput compares a result against the reference evaluation.
+func (f *Fixture) CheckOutput(t *testing.T, w *workloads.Workload, res *engine.Result) {
+	t.Helper()
+	want := workloads.Reference(w, f.Blocks)
+	if res.Output == nil {
+		t.Fatal("result has no retained output")
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output has %d keys, reference %d", len(res.Output), len(want))
+	}
+	bad := 0
+	for k, v := range want {
+		if got, ok := res.Output[k]; !ok {
+			t.Errorf("missing key %q", k)
+			bad++
+		} else if got != v {
+			t.Errorf("key %q = %q, want %q", k, got, v)
+			bad++
+		}
+		if bad > 5 {
+			t.Fatal("too many mismatches")
+		}
+	}
+}

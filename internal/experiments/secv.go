@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+
+	"onepass/internal/engine"
+)
+
+// SecVHashVsHadoop reproduces §V's headline comparison: the hash engine
+// saves up to 48% of CPU cycles and up to 53% of running time against
+// carefully tuned stock Hadoop.
+func (s *Session) SecVHashVsHadoop() *Report {
+	rep := &Report{ID: "§V", Title: "Hash-based engine vs tuned Hadoop"}
+	for _, wl := range []string{"sessionization", "per-user-count"} {
+		inputGB := 256.0
+		hd := s.Run(runSpec{Workload: wl, Engine: "hadoop", InputGB: inputGB})
+		hi := s.Run(runSpec{Workload: wl, Engine: "hash-incremental", InputGB: inputGB})
+		cpuSaved := 1 - hi.CPU.Total()/hd.CPU.Total()
+		timeSaved := 1 - float64(hi.Makespan)/float64(hd.Makespan)
+		rep.Rows = append(rep.Rows,
+			Row{
+				Name:     wl + ": CPU cycles saved",
+				Paper:    "up to 48%",
+				Measured: pct(cpuSaved),
+				Note:     fmt.Sprintf("%.1f vs %.1f CPU-s", hi.CPU.Total(), hd.CPU.Total()),
+			},
+			Row{
+				Name:     wl + ": running time saved",
+				Paper:    "up to 53%",
+				Measured: pct(timeSaved),
+				Note:     fmt.Sprintf("%s vs %s", fmtDur(hi.Makespan), fmtDur(hd.Makespan)),
+			},
+		)
+	}
+	return rep
+}
+
+// SecVSpillReduction reproduces the frequent-algorithm result: reduce-side
+// internal spill I/O drops by ~3 orders of magnitude when the hot-key
+// technique is used, on a skewed counting workload whose key states exceed
+// reducer memory.
+func (s *Session) SecVSpillReduction() *Report {
+	// Same configuration as Table I's per-user count: reducer memory is
+	// ample for the aggregate states, yet Hadoop still spills because its
+	// in-memory segment threshold forces merges to disk "waiting for all
+	// future data to produce a single sorted run" (§III.B.4). The hash
+	// engines fold arrivals into states immediately, so nothing spills.
+	inputGB := 256.0
+	hd := s.Run(runSpec{Workload: "per-user-count", Engine: "hadoop", InputGB: inputGB})
+	inc := s.Run(runSpec{Workload: "per-user-count", Engine: "hash-incremental", InputGB: inputGB})
+	hot := s.Run(runSpec{Workload: "per-user-count", Engine: "hash-hotkey", InputGB: inputGB, HotCounters: 2048})
+	hdSpill := hd.Counters.Get(engine.CtrReduceSpillBytes)
+	incSpill := inc.Counters.Get(engine.CtrReduceSpillBytes)
+	hotSpill := hot.Counters.Get(engine.CtrReduceSpillBytes)
+	ratio := func(a, b float64) string {
+		if b == 0 {
+			return "eliminated (zero spill)"
+		}
+		return fmt.Sprintf("%.0fx less", a/b)
+	}
+	return &Report{
+		ID:    "§V (spills)",
+		Title: "Reduce-side spill I/O: sort-merge vs hash + frequent algorithm",
+		Rows: []Row{
+			{
+				Name:     "sort-merge reduce spill",
+				Paper:    "1.4 GB for 256 GB per-user count, despite ample memory",
+				Measured: fmtBytes(hdSpill),
+				Note:     "segment-threshold merges write to disk anyway (§III.B.4)",
+			},
+			{
+				Name:     "incremental hash",
+				Paper:    "near zero (states fit in memory)",
+				Measured: fmt.Sprintf("%s (%s)", fmtBytes(incSpill), ratio(hdSpill, incSpill)),
+			},
+			{
+				Name:     "hot-key hash (frequent algorithm)",
+				Paper:    "three orders of magnitude below sort-merge",
+				Measured: fmt.Sprintf("%s (%s)", fmtBytes(hotSpill), ratio(hdSpill, hotSpill)),
+				Note:     "when states exceed memory, only cold states spill — see the memory-sweep ablation",
+			},
+		},
+	}
+}
+
+// SecVIncrementalLatency measures the incremental-processing requirement
+// (§IV point 3): first answers long before the blocking engines produce
+// anything.
+func (s *Session) SecVIncrementalLatency() *Report {
+	inputGB := 64.0
+	hd := s.Run(runSpec{Workload: "per-user-count", Engine: "hadoop", InputGB: inputGB})
+	hi := s.Run(runSpec{Workload: "per-user-count", Engine: "hash-incremental", InputGB: inputGB})
+	_, mapEndH, _ := hd.Timeline.PhaseWindow(engine.SpanMap)
+	return &Report{
+		ID:    "§IV/§V (latency)",
+		Title: "Time to first answer (per-user count)",
+		Rows: []Row{
+			{
+				Name:     "Hadoop first output",
+				Paper:    "after all maps + merge (blocking)",
+				Measured: fmt.Sprintf("%v (maps ended %v)", hd.FirstOutputAt, mapEndH),
+			},
+			{
+				Name:     "hash-incremental first output",
+				Paper:    "as soon as the data needed has been read",
+				Measured: fmt.Sprintf("%v", hi.FirstOutputAt),
+				Note:     "with Job.EmitWhen, threshold answers stream mid-job (see examples/onlineagg)",
+			},
+		},
+	}
+}
+
+// Streaming reproduces the paper's §I/§IV framing directly: the data
+// arrives into the system over one virtual minute instead of being
+// preloaded, and the metric is how long after the *last byte arrives* each
+// architecture takes to deliver the complete answer — the "no data loading,
+// pipelined answers" property the proposed platform targets.
+func (s *Session) Streaming() *Report {
+	// Sessionization: no combiner, so the reducers hold (and merge) the
+	// whole stream — the architecture's post-arrival tail is fully exposed.
+	spec := runSpec{Workload: "sessionization", InputGB: 256, StreamPerMinute: 1}
+	hdSpec, hoSpec, hiSpec := spec, spec, spec
+	hdSpec.Engine = "hadoop"
+	hoSpec.Engine = "hop"
+	hoSpec.Snapshots = true
+	hiSpec.Engine = "hash-incremental"
+	hd := s.Run(hdSpec)
+	ho := s.Run(hoSpec)
+	hi := s.Run(hiSpec)
+	arrival := 60.0 // seconds: the stream finishes arriving after 1 minute
+	lag := func(r *engine.Result) string {
+		return fmt.Sprintf("+%.1f s after last arrival", r.Makespan.Seconds()-arrival)
+	}
+	return &Report{
+		ID:    "§I/§IV (streaming)",
+		Title: "Answer latency when data arrives as a stream (1-minute arrival)",
+		Rows: []Row{
+			{
+				Name:     "Hadoop: complete answer",
+				Paper:    "blocked behind load + sort-merge",
+				Measured: lag(hd),
+			},
+			{
+				Name:     "MR Online: complete answer",
+				Paper:    "pipelines but still merges",
+				Measured: fmt.Sprintf("%s (+%d snapshots en route)", lag(ho), len(ho.Snapshots)),
+			},
+			{
+				Name:     "hash-incremental: complete answer",
+				Paper:    "pipelined; answers as data arrives",
+				Measured: lag(hi),
+				Note:     "per-key states are complete the moment the last block is folded",
+			},
+		},
+	}
+}
+
+// AblationFanIn sweeps the multi-pass merge factor F for Hadoop
+// sessionization — the design knob behind the paper's multi-pass merge
+// analysis (lower F = more passes = more merge I/O).
+func (s *Session) AblationFanIn() *Report {
+	rep := &Report{ID: "Ablation", Title: "Merge fan-in F sweep (Hadoop, sessionization)"}
+	mem := int64(256 << 10)
+	for _, fanIn := range []int{2, 4, 10, 32} {
+		res := s.Run(runSpec{Workload: "sessionization", Engine: "hadoop", InputGB: 64,
+			FanIn: fanIn, MemoryPerTask: mem})
+		rep.Rows = append(rep.Rows, Row{
+			Name:  fmt.Sprintf("F=%d", fanIn),
+			Paper: "more passes at small F",
+			Measured: fmt.Sprintf("%.0f passes, %s merge I/O, makespan %s",
+				res.Counters.Get(engine.CtrMergePasses),
+				fmtBytes(res.Counters.Get(engine.CtrReduceSpillBytes)),
+				fmtDur(res.Makespan)),
+		})
+	}
+	return rep
+}
+
+// AblationHOPChunk sweeps HOP's pipelining granularity: finer chunks
+// deliver earlier but cost more network operations and reducer merge work.
+func (s *Session) AblationHOPChunk() *Report {
+	rep := &Report{ID: "Ablation", Title: "HOP pipelining chunk-size sweep (sessionization)"}
+	for _, chunk := range []int64{64 << 10, 256 << 10, 1 << 20} {
+		res := s.Run(runSpec{Workload: "sessionization", Engine: "hop", InputGB: 64, ChunkBytes: chunk})
+		rep.Rows = append(rep.Rows, Row{
+			Name:  fmt.Sprintf("chunk=%s", fmtBytes(float64(chunk))),
+			Paper: "finer granularity increases network cost (§III.D)",
+			Measured: fmt.Sprintf("makespan %s, %.1fM merge comparisons",
+				fmtDur(res.Makespan), res.Counters.Get(engine.CtrMergeComparisons)/1e6),
+		})
+	}
+	return rep
+}
+
+// AblationHotKeyMemory sweeps reducer memory for the hot-key engine: spill
+// volume should fall steeply as memory approaches the hot set's size.
+func (s *Session) AblationHotKeyMemory() *Report {
+	rep := &Report{ID: "Ablation", Title: "Hot-key engine reducer-memory sweep (per-user count)"}
+	for _, mem := range []int64{2 << 10, 4 << 10, 8 << 10, 32 << 10, 1 << 20} {
+		res := s.Run(runSpec{Workload: "per-user-count", Engine: "hash-hotkey", InputGB: 64,
+			MemoryPerTask: mem, HotCounters: 2048})
+		rep.Rows = append(rep.Rows, Row{
+			Name:  fmt.Sprintf("task memory %s", fmtBytes(float64(mem))),
+			Paper: "in-memory processing for important keys when memory is limited",
+			Measured: fmt.Sprintf("spill %s, makespan %s",
+				fmtBytes(res.Counters.Get(engine.CtrReduceSpillBytes)), fmtDur(res.Makespan)),
+		})
+	}
+	return rep
+}
+
+// FaultTolerance exercises the mechanism the paper's design discussion
+// leans on — map output is persisted *so that* its loss is recoverable: a
+// node dies mid-job, reducers hit lost outputs, the lost map tasks re-run,
+// and the answer is unchanged (verified by the test suite's output checks).
+func (s *Session) FaultTolerance() *Report {
+	base := s.hadoopSessionization()
+	spec := runSpec{Workload: "sessionization", Engine: "hadoop", InputGB: 256,
+		FaultNode: 3, FaultNodeAtFrac: 0.12, baselineMS: base.Makespan}
+	faulted := s.Run(spec)
+	return &Report{
+		ID:    "Fault tolerance",
+		Title: "Node failure during the map phase (beyond the paper's evaluation)",
+		Rows: []Row{
+			{
+				Name:     "makespan (fault-free vs one node lost)",
+				Paper:    "(not evaluated; motivates the map-output write of §III.B.2)",
+				Measured: fmt.Sprintf("%s vs %s", fmtDur(base.Makespan), fmtDur(faulted.Makespan)),
+			},
+			{
+				Name:     "map tasks re-executed",
+				Paper:    "-",
+				Measured: fmt.Sprintf("%.0f of %.0f", faulted.Counters.Get(engine.CtrMapTasksReexecuted), faulted.Counters.Get(engine.CtrMapTasks)),
+				Note:     "lost outputs recomputed on the fetching reducer's node",
+			},
+		},
+	}
+}
+
+// All runs every experiment in paper order.
+func (s *Session) All() []*Report {
+	return []*Report{
+		s.TableI(),
+		s.TableII(),
+		s.TableIII(),
+		s.ParsingCost(),
+		s.MapOutputWriteShare(),
+		s.Fig2a(), s.Fig2b(), s.Fig2c(), s.Fig2d(), s.Fig2e(), s.Fig2f(),
+		s.Fig3(),
+		s.Fig4(),
+		s.SecVHashVsHadoop(),
+		s.SecVSpillReduction(),
+		s.SecVIncrementalLatency(),
+		s.Streaming(),
+		s.FaultTolerance(),
+		s.AblationFanIn(),
+		s.AblationHOPChunk(),
+		s.AblationHotKeyMemory(),
+	}
+}

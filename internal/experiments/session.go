@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/core"
+	"onepass/internal/dfs"
+	"onepass/internal/disk"
+	"onepass/internal/engine"
+	"onepass/internal/gen"
+	"onepass/internal/hadoop"
+	"onepass/internal/hop"
+	"onepass/internal/sim"
+	"onepass/internal/workloads"
+)
+
+// runSpec fully determines one experiment run (and is its cache key).
+type runSpec struct {
+	Workload string
+	Engine   string // "hadoop", "hop", "hash-hybrid", "hash-incremental", "hash-hotkey"
+	InputGB  float64
+	// Topology deltas.
+	SSD   bool
+	Split bool
+	// Engine knobs (zero = default).
+	FanIn         int
+	ChunkBytes    int64
+	MemoryPerTask int64
+	HotCounters   int
+	Snapshots     bool
+	BinaryInput   bool
+	// SkewedUsers swaps in an unscaled, strongly Zipf-skewed user space —
+	// the regime where hot-key pinning pays (§V's spill experiment).
+	SkewedUsers bool
+	// Threshold, when positive, attaches the §IV threshold query: emit a
+	// key the moment its count reaches this value (hash engines only).
+	Threshold uint64
+	// StreamRate, when positive, streams the input into the system at this
+	// fraction of the dataset per virtual minute instead of preloading it.
+	StreamPerMinute float64
+	// FaultNodeAtFrac, when positive, fails FaultNode at this fraction of
+	// the fault-free makespan (hadoop engine only).
+	FaultNode       int
+	FaultNodeAtFrac float64
+	baselineMS      sim.Duration // carried by the session for fault specs
+}
+
+// Session caches experiment runs so Figs 2(a)–(d) share one sessionization
+// execution, exactly as the paper plots one run four ways.
+type Session struct {
+	Scale   Scale
+	results map[runSpec]*engine.Result
+	// Log, if set, receives progress lines.
+	Log func(format string, args ...interface{})
+}
+
+// NewSession returns a session at the given scale.
+func NewSession(s Scale) *Session {
+	return &Session{Scale: s, results: make(map[runSpec]*engine.Result)}
+}
+
+func (s *Session) logf(format string, args ...interface{}) {
+	if s.Log != nil {
+		s.Log(format, args...)
+	}
+}
+
+func (s *Session) workload(name string, binary, skewed bool) *workloads.Workload {
+	if skewed {
+		cfg := gen.DefaultClickConfig()
+		cfg.UserSkew = 1.5
+		switch name {
+		case "per-user-count":
+			return workloads.PerUserCount(cfg)
+		case "sessionization":
+			return workloads.Sessionization(cfg)
+		}
+	}
+	for _, pw := range s.Scale.TableIWorkloads() {
+		if pw.Name == name {
+			w := pw.Make()
+			if binary {
+				cfg := s.Scale.clickCfg()
+				cfg.Binary = true
+				switch name {
+				case "sessionization":
+					w = workloads.Sessionization(cfg)
+				case "page-frequency":
+					w = workloads.PageFrequency(cfg)
+				case "per-user-count":
+					w = workloads.PerUserCount(cfg)
+				}
+			}
+			return w
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown workload %q", name))
+}
+
+// Run executes (or returns the cached result of) one spec.
+func (s *Session) Run(spec runSpec) *engine.Result {
+	if res, ok := s.results[spec]; ok {
+		return res
+	}
+	w := s.workload(spec.Workload, spec.BinaryInput, spec.SkewedUsers)
+
+	env := sim.New()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = s.Scale.Nodes
+	ccfg.SSDIntermediate = spec.SSD
+	ccfg.SplitStorage = spec.Split
+	ccfg.DiskProfile = disk.HDD
+	cl := cluster.New(env, ccfg)
+	d := dfs.New(cl, s.Scale.BlockSize, 1)
+	inputSize := s.Scale.Bytes(spec.InputGB)
+	rate := 0.0
+	if spec.StreamPerMinute > 0 {
+		rate = float64(inputSize) * spec.StreamPerMinute / 60
+	}
+	if err := d.RegisterStream("input/"+w.Name, inputSize, rate, w.Gen); err != nil {
+		panic(err)
+	}
+	rt := engine.NewRuntimeSampled(env, cl, d, s.sampleInterval())
+
+	job := w.Job
+	job.InputPath = "input/" + w.Name
+	job.OutputPath = "out/" + w.Name
+	job.Reducers = s.Scale.Reducers
+	job.DiscardOutput = true
+	job.BinaryInput = spec.BinaryInput
+	job.MemoryPerTask = s.Scale.TaskMemory()
+	if spec.MemoryPerTask > 0 {
+		job.MemoryPerTask = spec.MemoryPerTask
+	}
+	if spec.Threshold > 0 {
+		th := spec.Threshold
+		job.EmitWhen = func(key, state []byte) bool {
+			return workloads.CountState(state) >= th
+		}
+	}
+
+	s.logf("running %s on %s (%s input)...", w.Name, spec.Engine, fmtBytes(float64(inputSize)))
+	var res *engine.Result
+	var err error
+	switch spec.Engine {
+	case "hadoop":
+		hopts := hadoop.Options{FanIn: spec.FanIn, SegmentLimit: s.segmentLimit(inputSize)}
+		if spec.FaultNodeAtFrac > 0 {
+			hopts.Faults = []hadoop.Fault{{Node: spec.FaultNode,
+				At: sim.Duration(float64(spec.baselineMS) * spec.FaultNodeAtFrac)}}
+		}
+		res, err = hadoop.Run(rt, job, hopts)
+	case "hop":
+		res, err = hop.Run(rt, job, hop.Options{
+			FanIn: spec.FanIn, ChunkBytes: spec.ChunkBytes, DisableSnapshots: !spec.Snapshots,
+		})
+	case "hash-hybrid":
+		res, err = core.Run(rt, job, core.Options{Mode: core.HybridHash})
+	case "hash-incremental":
+		res, err = core.Run(rt, job, core.Options{Mode: core.Incremental})
+	case "hash-hotkey":
+		res, err = core.Run(rt, job, core.Options{Mode: core.HotKey, HotKeyCounters: spec.HotCounters})
+	default:
+		panic(fmt.Sprintf("experiments: unknown engine %q", spec.Engine))
+	}
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s/%s: %v", spec.Engine, spec.Workload, err))
+	}
+	s.logf("  done: makespan=%v cpu=%.1fs", res.Makespan, res.CPU.Total())
+	s.results[spec] = res
+	return res
+}
+
+// segmentLimit scales Hadoop's in-memory merge threshold (1000 segments at
+// the paper's 3773-map scale) to our map-task count, so the "spill even
+// with ample memory" behaviour of §III.B.4 reproduces.
+func (s *Session) segmentLimit(inputSize int64) int {
+	maps := int(inputSize / s.Scale.BlockSize)
+	limit := 1000 * maps / 3773
+	if limit < 4 {
+		limit = 4
+	}
+	return limit
+}
+
+func (s *Session) sampleInterval() sim.Duration {
+	if s.Scale.SampleInterval > 0 {
+		return s.Scale.SampleInterval
+	}
+	return engine.SampleInterval
+}
+
+// hadoopSessionization is the shared run behind Figs 2(a)–(d) and Table II.
+func (s *Session) hadoopSessionization() *engine.Result {
+	return s.Run(runSpec{Workload: "sessionization", Engine: "hadoop", InputGB: 256})
+}
+
+// mapFnCPU sums the map-side per-record CPU phases the paper's Table II
+// calls "Map function" (parsing + the function body + partitioning +
+// map-side combining).
+func mapFnCPU(res *engine.Result) float64 {
+	return res.CPU.Seconds(engine.PhaseParse) + res.CPU.Seconds(engine.PhaseMapFn) +
+		res.CPU.Seconds(engine.PhaseHash) + res.CPU.Seconds(engine.PhaseCombine)
+}

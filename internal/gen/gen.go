@@ -1,0 +1,135 @@
+// Package gen synthesizes the paper's two datasets at configurable scale:
+// a World Cup '98-style click log (Zipf-distributed users and URLs) and a
+// GOV2-style document collection (Zipf vocabulary). Generation is
+// deterministic per (seed, block), so the DFS can materialize blocks lazily
+// and re-reads always see identical bytes.
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"onepass/internal/textfmt"
+)
+
+// ClickConfig parameterizes the click-log generator.
+type ClickConfig struct {
+	Seed uint64
+	// Users and URLs are the distinct entity counts.
+	Users int
+	URLs  int
+	// UserSkew and URLSkew are Zipf s parameters (> 1; larger = more skew).
+	UserSkew float64
+	URLSkew  float64
+	// Binary selects the SequenceFile-style encoding instead of text.
+	Binary bool
+	// BaseTime is the first timestamp; records within a block step forward.
+	BaseTime uint32
+}
+
+// DefaultClickConfig mirrors the World Cup log's character: heavy user and
+// URL skew with large entity counts.
+func DefaultClickConfig() ClickConfig {
+	return ClickConfig{
+		Seed:     1998,
+		Users:    200000,
+		URLs:     50000,
+		UserSkew: 1.1,
+		URLSkew:  1.3,
+		BaseTime: 869769600, // 1998-06-24, mid World Cup
+	}
+}
+
+func lastSpace(b []byte) int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == ' ' {
+			return i
+		}
+	}
+	return -1
+}
+
+func blockRand(seed uint64, block int) *rand.Rand {
+	s := seed ^ uint64(block+1)*0x9E3779B97F4A7C15
+	return rand.New(rand.NewSource(int64(s)))
+}
+
+// Block generates one block of at most size bytes of click records. The
+// last record is never truncated, so blocks parse cleanly in isolation —
+// the property HDFS text input splits give Hadoop via line boundaries.
+func (c ClickConfig) Block(block int, size int64) []byte {
+	rng := blockRand(c.Seed, block)
+	users := rand.NewZipf(rng, c.UserSkew, 1, uint64(c.Users-1))
+	urls := rand.NewZipf(rng, c.URLSkew, 1, uint64(c.URLs-1))
+	out := make([]byte, 0, size)
+	ts := c.BaseTime + uint32(block)
+	var urlBuf []byte
+	for {
+		urlBuf = urlBuf[:0]
+		urlBuf = append(urlBuf, "/en/page/"...)
+		urlBuf = strconv.AppendUint(urlBuf, urls.Uint64(), 10)
+		click := textfmt.Click{Time: ts, User: uint32(users.Uint64()), URL: urlBuf}
+		var rec []byte
+		if c.Binary {
+			rec = textfmt.AppendClickBinary(nil, click)
+		} else {
+			rec = textfmt.AppendClickText(nil, click)
+		}
+		if int64(len(out)+len(rec)) > size {
+			return out
+		}
+		out = append(out, rec...)
+		ts += uint32(rng.Intn(3))
+	}
+}
+
+// DocConfig parameterizes the document generator.
+type DocConfig struct {
+	Seed uint64
+	// Vocab is the vocabulary size; word ids are Zipf-distributed with
+	// WordSkew, so low ids are stopword-frequent.
+	Vocab    int
+	WordSkew float64
+	// WordsPerDoc is the mean document length in words.
+	WordsPerDoc int
+}
+
+// DefaultDocConfig approximates GOV2's text statistics at generator scale.
+func DefaultDocConfig() DocConfig {
+	return DocConfig{Seed: 2004, Vocab: 80000, WordSkew: 1.15, WordsPerDoc: 300}
+}
+
+// Block generates one block of at most size bytes of document records.
+func (c DocConfig) Block(block int, size int64) []byte {
+	rng := blockRand(c.Seed, block)
+	words := rand.NewZipf(rng, c.WordSkew, 1, uint64(c.Vocab-1))
+	out := make([]byte, 0, size)
+	docID := uint32(block) * 1000000
+	var line []byte
+	for {
+		n := c.WordsPerDoc/2 + rng.Intn(c.WordsPerDoc)
+		line = line[:0]
+		line = append(line, 'd')
+		line = strconv.AppendUint(line, uint64(docID), 10)
+		for w := 0; w < n; w++ {
+			line = append(line, ' ', 'w')
+			line = strconv.AppendUint(line, words.Uint64(), 10)
+		}
+		line = append(line, '\n')
+		if int64(len(out)+len(line)) > size {
+			if len(out) == 0 && size >= 8 {
+				// A single document larger than the block: clip the word
+				// list at a token boundary so the block is never empty.
+				clip := line[:size-1]
+				if i := lastSpace(clip); i > 0 {
+					clip = clip[:i]
+				}
+				out = append(out, clip...)
+				out = append(out, '\n')
+			}
+			return out
+		}
+		out = append(out, line...)
+		docID++
+	}
+}

@@ -1,0 +1,175 @@
+// Package hadoop is the stock-Hadoop baseline engine: the sort-merge
+// implementation of MapReduce group-by exactly as the paper's §II.A
+// describes it. Map tasks sort their output buffer on (partition, key),
+// optionally combine, and synchronously persist one file per reducer.
+// Reducers pull completed map outputs, buffer them in memory, spill merged
+// runs when the buffer fills, multi-pass merge whenever the on-disk run
+// count reaches the fan-in F, and finally merge everything into one sorted
+// scan feeding the reduce function. The blocking merge valley of Fig. 2 and
+// the sort CPU of Table II are emergent properties of this code.
+package hadoop
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/hashlib"
+	"onepass/internal/sim"
+	"onepass/internal/sortmerge"
+)
+
+// PartitionSeed fixes the hash partitioner across all engines so a key maps
+// to the same reducer everywhere.
+const PartitionSeed = 42
+
+// Partitioner returns the shared cross-engine partitioner.
+func Partitioner() engine.Partitioner {
+	h := hashlib.NewAt(PartitionSeed, 0)
+	return func(key []byte, n int) int { return h.Bucket(key, n) }
+}
+
+// Fault schedules a node failure at a virtual instant: the node stops
+// taking new tasks and every map output it persisted is lost, forcing
+// re-execution when a reducer asks for it.
+type Fault struct {
+	Node int
+	At   sim.Duration
+}
+
+// Options tunes the engine.
+type Options struct {
+	// FanIn is the multi-pass merge factor F (Hadoop's io.sort.factor).
+	FanIn int
+	// SegmentLimit caps buffered in-memory shuffle segments per reducer
+	// before a forced spill (mapreduce.reduce.merge.inmem.threshold;
+	// Hadoop default 1000). Zero disables the trigger.
+	SegmentLimit int
+	// Faults injects node failures (fault-tolerance testing).
+	Faults []Fault
+}
+
+// Run executes job on rt with the sort-merge engine.
+func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Reduce == nil {
+		return nil, fmt.Errorf("hadoop: job %q has no reduce function", job.Name)
+	}
+	blocks, err := rt.InputBlocks(job.InputPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%s: input %q has no blocks (was a chained stage's output discarded?)", "hadoop", job.InputPath)
+	}
+	fanIn := opts.FanIn
+	if fanIn == 0 {
+		fanIn = sortmerge.DefaultFanIn
+	}
+	costs := JobCosts(&job)
+	res := &engine.Result{Job: job.Name, Engine: "hadoop"}
+	oc := rt.NewOutputCollector(&job, res)
+	reg := rt.NewRegistry(len(blocks))
+	partition := Partitioner()
+	// Fault tolerance: a lost map output is recomputed from its DFS block
+	// (replicas permitting) on the node that asked for it.
+	blockByTask := make(map[int]*dfs.Block, len(blocks))
+	for _, b := range blocks {
+		blockByTask[b.Index] = b
+	}
+	reg.Reexec = func(p *sim.Proc, nodeID, taskID int) *engine.MapOutput {
+		return executeMapAttempt(rt, p, rt.Cluster.Node(nodeID), &job, costs, blockByTask[taskID], partition)
+	}
+	for _, fault := range opts.Faults {
+		fault := fault
+		rt.Env.Go(fmt.Sprintf("fault-node%d", fault.Node), func(p *sim.Proc) {
+			p.Sleep(fault.At)
+			rt.Cluster.Node(fault.Node).Fail()
+			reg.FailNode(fault.Node)
+			rt.Counters.Add("faults.injected", 1)
+		})
+	}
+
+	rt.StartSampling()
+	mapsWG := rt.RunMaps(&job, blocks, func(p *sim.Proc, node *cluster.Node, b *dfs.Block) {
+		RunMapTask(rt, p, node, &job, costs, b, partition, reg)
+	})
+	redsWG := rt.RunReduces(&job, func(p *sim.Proc, node *cluster.Node, r int) {
+		runReduceTask(rt, p, node, &job, costs, reg, oc, r, fanIn, opts.SegmentLimit)
+	})
+	rt.Env.Go("job-controller", func(p *sim.Proc) {
+		mapsWG.Wait(p)
+		redsWG.Wait(p)
+		rt.StopSampling()
+	})
+	rt.Env.Run()
+	rt.FinishResult(res)
+	return res, nil
+}
+
+// RunMapTask is the stock map-side path: map, buffer-sort on (partition,
+// key), optional combine, synchronous map-output write, registration for
+// pull shuffle. Exported for reuse as other engines' map side where noted.
+func RunMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner, reg *engine.Registry) {
+	out := executeMapAttempt(rt, p, node, job, costs, b, partition)
+	reg.Complete(out)
+}
+
+// executeMapAttempt runs the map-side data path without committing, so the
+// same code serves first attempts, speculative backups, and post-failure
+// re-execution.
+func executeMapAttempt(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner) *engine.MapOutput {
+	buf, err := rt.ExecuteMap(p, node, job, b, partition)
+	if err != nil {
+		panic(fmt.Sprintf("hadoop: %v", err))
+	}
+	// Sort the map output buffer on (partition, key) — the CPU cost of
+	// Table II's "Sorting" row, measured from real comparisons.
+	var cmps int64
+	buf.SortByPartitionKey(&cmps)
+	node.Compute(p, engine.Dur(float64(cmps), costs.CompareNs), engine.PhaseSort)
+	rt.Counters.Add(engine.CtrSortComparisons, float64(cmps))
+
+	if job.Combine != nil {
+		combined, inputs := engine.CombineSorted(job, buf)
+		node.Compute(p, engine.Dur(float64(inputs), costs.CombineNsPerRecord), engine.PhaseCombine)
+		buf = combined
+	}
+	return rt.WriteMapOutput(p, node, job, b.Index, buf)
+}
+
+func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, reg *engine.Registry, oc *engine.OutputCollector, r, fanIn, segLimit int) {
+
+	rs := NewReduceSide(rt, job, costs, node, r, fanIn)
+	rs.Acc.SegmentLimit = segLimit
+
+	// Shuffle: pull partitions from completed mappers as they appear.
+	shuffleSpan := rt.Timeline.Begin(engine.SpanShuffle, p.Now())
+	seen := 0
+	for {
+		reg.WaitBeyond(p, seen)
+		for ; seen < reg.Completed(); seen++ {
+			out := reg.Out(seen)
+			data := reg.FetchPart(p, node.ID, out, r)
+			if len(data) > 0 {
+				// Spills alias the fetched bytes; copy before the source
+				// file is released.
+				data = append([]byte(nil), data...)
+			}
+			out.ConsumePart(r)
+			rs.Add(p, data)
+		}
+		if reg.AllDone() {
+			break
+		}
+	}
+	shuffleSpan.End(p.Now())
+
+	rs.Finish(p, oc)
+}

@@ -1,0 +1,276 @@
+package hadoop
+
+import (
+	"testing"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/enginetest"
+	"onepass/internal/gen"
+	"onepass/internal/sim"
+	"onepass/internal/workloads"
+)
+
+func smallClicks() gen.ClickConfig {
+	cfg := gen.DefaultClickConfig()
+	cfg.Users = 300
+	cfg.URLs = 150
+	return cfg
+}
+
+func smallDocs() gen.DocConfig {
+	cfg := gen.DefaultDocConfig()
+	cfg.Vocab = 400
+	cfg.WordsPerDoc = 60
+	return cfg
+}
+
+func run(t *testing.T, w *workloads.Workload, cfg enginetest.Config, opts Options) (*enginetest.Fixture, *engine.Result) {
+	t.Helper()
+	f := enginetest.New(t, w, cfg)
+	res, err := Run(f.RT, f.Job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, res
+}
+
+func TestAllWorkloadsMatchReference(t *testing.T) {
+	cases := []*workloads.Workload{
+		workloads.Sessionization(smallClicks()),
+		workloads.PageFrequency(smallClicks()),
+		workloads.PerUserCount(smallClicks()),
+		workloads.InvertedIndex(smallDocs()),
+	}
+	for _, w := range cases {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			f, res := run(t, w, enginetest.Config{}, Options{})
+			f.CheckOutput(t, w, res)
+		})
+	}
+}
+
+func TestSpillAndMultiPassMergeStillCorrect(t *testing.T) {
+	w := workloads.Sessionization(smallClicks())
+	// Tiny reducer memory forces spills; tiny fan-in forces multi-pass.
+	f, res := run(t, w, enginetest.Config{MemPerTask: 4 << 10, Reducers: 2}, Options{FanIn: 2})
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get(engine.CtrReduceSpillBytes) == 0 {
+		t.Fatal("expected reduce-side spills")
+	}
+	if res.Counters.Get(engine.CtrMergePasses) == 0 {
+		t.Fatal("expected multi-pass merges")
+	}
+}
+
+func TestNoSpillWhenMemoryAmple(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	_, res := run(t, w, enginetest.Config{MemPerTask: 1 << 30}, Options{})
+	if res.Counters.Get(engine.CtrReduceSpillBytes) != 0 {
+		t.Fatalf("unexpected spills: %v bytes", res.Counters.Get(engine.CtrReduceSpillBytes))
+	}
+}
+
+func TestCombinerShrinksShuffle(t *testing.T) {
+	w := workloads.PageFrequency(smallClicks())
+	_, withCombiner := run(t, w, enginetest.Config{}, Options{})
+	w2 := workloads.PageFrequency(smallClicks())
+	w2.Job.Combine = nil
+	f2 := enginetest.New(t, w2, enginetest.Config{})
+	noCombiner, err := Run(f2.RT, f2.Job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := withCombiner.Counters.Get(engine.CtrShuffleBytes)
+	snc := noCombiner.Counters.Get(engine.CtrShuffleBytes)
+	if sc >= snc/2 {
+		t.Fatalf("combiner shuffle %v should be far below %v", sc, snc)
+	}
+	f2.CheckOutput(t, w2, noCombiner)
+}
+
+func TestPhaseCPUAccounting(t *testing.T) {
+	w := workloads.Sessionization(smallClicks())
+	_, res := run(t, w, enginetest.Config{}, Options{})
+	for _, phase := range []string{engine.PhaseParse, engine.PhaseMapFn, engine.PhaseSort, engine.PhaseReduce} {
+		if res.CPU.Seconds(phase) <= 0 {
+			t.Errorf("phase %s has no CPU", phase)
+		}
+	}
+	if res.Counters.Get(engine.CtrSortComparisons) == 0 {
+		t.Error("sort comparisons not counted")
+	}
+}
+
+func TestTimelineHasAllFourOperations(t *testing.T) {
+	w := workloads.Sessionization(smallClicks())
+	f, res := run(t, w, enginetest.Config{MemPerTask: 8 << 10}, Options{FanIn: 2})
+	counts := res.Timeline.CountByPhase()
+	for _, span := range []string{engine.SpanMap, engine.SpanShuffle, engine.SpanMerge, engine.SpanReduce} {
+		if counts[span] == 0 {
+			t.Errorf("timeline missing %s spans: %v", span, counts)
+		}
+	}
+	if counts[engine.SpanMap] != len(f.Blocks) {
+		t.Errorf("map spans = %d, blocks = %d", counts[engine.SpanMap], len(f.Blocks))
+	}
+}
+
+func TestReduceBlockedUntilMapsDone(t *testing.T) {
+	// Sort-merge is blocking: first output must come after the last map
+	// task finishes.
+	w := workloads.Sessionization(smallClicks())
+	_, res := run(t, w, enginetest.Config{}, Options{})
+	_, mapEnd, ok := res.Timeline.PhaseWindow(engine.SpanMap)
+	if !ok {
+		t.Fatal("no map spans")
+	}
+	if res.FirstOutputAt < mapEnd {
+		t.Fatalf("first output at %v before maps ended at %v — sort-merge cannot do that", res.FirstOutputAt, mapEnd)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	_, res1 := run(t, w, enginetest.Config{}, Options{})
+	w2 := workloads.PerUserCount(smallClicks())
+	_, res2 := run(t, w2, enginetest.Config{}, Options{})
+	if res1.Makespan != res2.Makespan {
+		t.Fatalf("makespans differ: %v vs %v", res1.Makespan, res2.Makespan)
+	}
+	if res1.OutputPairs != res2.OutputPairs {
+		t.Fatalf("output pairs differ")
+	}
+}
+
+func TestSplitTopologyRuns(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4, Cluster: func(c *cluster.Config) { c.SplitStorage = true }})
+	res, err := Run(f.RT, f.Job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	// All input must have crossed the network (no data locality).
+	if res.NetBytes.Sum() == 0 {
+		t.Fatal("split topology moved no network bytes")
+	}
+}
+
+func TestInvalidJobRejected(t *testing.T) {
+	env := sim.New()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 2
+	c := cluster.New(env, ccfg)
+	rt := engine.NewRuntime(env, c, dfs.New(c, 1<<20, 1))
+	if _, err := Run(rt, engine.Job{}, Options{}); err == nil {
+		t.Fatal("empty job must be rejected")
+	}
+	w := workloads.PerUserCount(smallClicks())
+	job := w.Job
+	job.InputPath = "missing"
+	job.OutputPath = "out"
+	job.Reducers = 2
+	if _, err := Run(rt, job, Options{}); err == nil {
+		t.Fatal("missing input must be rejected")
+	}
+}
+
+func TestNodeFailureReexecutesLostMaps(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	// Enough blocks that node 1 is still mapping when it dies at 20ms.
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 32 * 64 << 10})
+	// Fail node 1 shortly into the run: its completed map outputs are lost
+	// and must be recomputed when reducers ask for them. (The failure model
+	// is TaskTracker death: DFS replicas stay readable.)
+	res, err := Run(f.RT, f.Job, Options{Faults: []Fault{{Node: 1, At: 20 * sim.Millisecond}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get("faults.injected") != 1 {
+		t.Fatal("fault not injected")
+	}
+	if res.Counters.Get(engine.CtrMapTasksReexecuted) == 0 {
+		t.Fatal("no map tasks were re-executed after the failure")
+	}
+}
+
+func TestNodeFailureBeforeAnyMapsStillCorrect(t *testing.T) {
+	// Failing a node at t=0 removes its slots entirely; the remaining nodes
+	// absorb all tasks.
+	w := workloads.PerUserCount(smallClicks())
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4})
+	res, err := Run(f.RT, f.Job, Options{Faults: []Fault{{Node: 2, At: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get(engine.CtrMapTasksReexecuted) != 0 {
+		t.Fatal("nothing should need re-execution when the node dies before completing any map")
+	}
+}
+
+func TestSpeculativeExecutionOnStraggler(t *testing.T) {
+	w := workloads.Sessionization(smallClicks())
+	// SSD topology separates scratch from DFS, so slowing node 3's scratch
+	// makes only its *computation side* straggle — the case speculation
+	// addresses (the data itself stays readable at full speed).
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 16 * 64 << 10,
+		Cluster: func(c *cluster.Config) { c.SSDIntermediate = true }})
+	f.Job.Speculation = true
+	f.RT.Cluster.Node(3).ScratchDevice().SetSlowdown(100)
+	res, err := Run(f.RT, f.Job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get(engine.CtrMapTasksSpeculative) == 0 {
+		t.Fatal("no speculative attempts launched against the straggler")
+	}
+}
+
+func TestSpeculationReducesStragglerLatency(t *testing.T) {
+	run := func(speculate bool) *engine.Result {
+		w := workloads.Sessionization(smallClicks())
+		f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 16 * 64 << 10,
+			Cluster: func(c *cluster.Config) { c.SSDIntermediate = true }})
+		f.Job.Speculation = speculate
+		f.RT.Cluster.Node(3).ScratchDevice().SetSlowdown(100)
+		res, err := Run(f.RT, f.Job, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.CheckOutput(t, w, res)
+		return res
+	}
+	plain := run(false)
+	spec := run(true)
+	// Makespans round to the sampler tick at this scale; first output is
+	// un-rounded and, for sort-merge, gated on the last (straggling) map.
+	if spec.FirstOutputAt >= plain.FirstOutputAt {
+		t.Fatalf("speculation did not improve first-answer latency: %v vs %v",
+			spec.FirstOutputAt, plain.FirstOutputAt)
+	}
+}
+
+func TestReduceSideCombineDuringSpill(t *testing.T) {
+	// The paper (§II.A): "It can be further applied in a reducer when its
+	// data buffer fills up." With the segment-count trigger forcing spills
+	// of an aggregable workload, the spilled runs must be combined (small)
+	// yet the answer exact.
+	w := workloads.PerUserCount(smallClicks())
+	f, res := run(t, w, enginetest.Config{InputSize: 16 * 64 << 10}, Options{SegmentLimit: 4})
+	f.CheckOutput(t, w, res)
+	spill := res.Counters.Get(engine.CtrReduceSpillBytes)
+	if spill == 0 {
+		t.Fatal("segment limit did not force spills")
+	}
+	// Combined spills must be far below the raw shuffled volume.
+	shuffled := res.Counters.Get(engine.CtrShuffleBytes)
+	if spill > shuffled {
+		t.Fatalf("spill %v exceeds shuffle %v — combiner not applied at spill time", spill, shuffled)
+	}
+}

@@ -1,0 +1,186 @@
+package hadoop
+
+import (
+	"fmt"
+
+	"onepass/internal/cluster"
+	"onepass/internal/engine"
+	"onepass/internal/kv"
+	"onepass/internal/sim"
+	"onepass/internal/sortmerge"
+)
+
+// The reduce-side sort-merge machinery is exported because MapReduce Online
+// (internal/hop) is a fork of this engine, exactly as the real HOP forked
+// Hadoop: same spill/multi-pass-merge/final-scan data path, different
+// shuffle in front of it.
+
+// ReduceSide is one reducer's sort-merge state.
+type ReduceSide struct {
+	rt    *engine.Runtime
+	job   *engine.Job
+	costs engine.CostModel
+	node  *cluster.Node
+	r     int
+
+	Merger   *sortmerge.Merger
+	Acc      *sortmerge.Accumulator
+	spillSeq int
+}
+
+// NewReduceSide builds the spill/merge state for reducer r on node.
+func NewReduceSide(rt *engine.Runtime, job *engine.Job, costs engine.CostModel,
+	node *cluster.Node, r, fanIn int) *ReduceSide {
+	return &ReduceSide{
+		rt: rt, job: job, costs: costs, node: node, r: r,
+		Merger: sortmerge.NewMerger(node.ScratchStore(), fmt.Sprintf("%s/red-%04d", job.Name, r), fanIn),
+		Acc:    sortmerge.NewAccumulator(rt.TaskMemory(job)),
+	}
+}
+
+// Add buffers one sorted segment; when the buffer exceeds its budget it is
+// spilled and background multi-pass merges run as needed.
+func (rs *ReduceSide) Add(p *sim.Proc, segment []byte) {
+	if len(segment) == 0 {
+		return
+	}
+	rs.Acc.Add(segment)
+	if rs.Acc.Over() {
+		rs.Spill(p)
+		for rs.Merger.NeedsPass() {
+			rs.MergePass(p)
+		}
+	}
+}
+
+// Spill merges the in-memory segments into one sorted on-disk run. When
+// the job has a combiner it is applied to each key group on the way out —
+// "it can be further applied in a reducer when its data buffer fills up"
+// (§II.A) — which shrinks the run but, as §III.B.4 observes, still writes
+// the data to disk to wait for a single sorted run.
+func (rs *ReduceSide) Spill(p *sim.Proc) {
+	if rs.Acc.Segments() == 0 {
+		return
+	}
+	span := rs.rt.Timeline.Begin(engine.SpanMerge, p.Now())
+	var cmps int64
+	var out []byte
+	emit := func(k, v []byte) {
+		out = kv.AppendPair(out, k, v)
+	}
+	if rs.job.Combine != nil {
+		var curKey []byte
+		var vals [][]byte
+		combineInputs := 0
+		flush := func() {
+			if curKey == nil {
+				return
+			}
+			rs.job.Combine(curKey, vals, emit)
+			combineInputs += len(vals)
+			curKey, vals = nil, nil
+		}
+		kv.MergeStreams(rs.Acc.Streams(), &cmps, func(k, v []byte) {
+			if curKey == nil || kv.Compare(curKey, k, nil) != 0 {
+				flush()
+				curKey = append([]byte(nil), k...)
+			}
+			vals = append(vals, append([]byte(nil), v...))
+		})
+		flush()
+		rs.node.Compute(p, engine.Dur(float64(combineInputs), rs.costs.CombineNsPerRecord), engine.PhaseCombine)
+	} else {
+		kv.MergeStreams(rs.Acc.Streams(), &cmps, emit)
+	}
+	rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs)+
+		engine.Dur(float64(len(out)), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
+	rs.rt.Counters.Add(engine.CtrMergeComparisons, float64(cmps))
+	rs.spillSeq++
+	run := sortmerge.WriteRun(p, rs.node.ScratchStore(),
+		fmt.Sprintf("%s/red-%04d/spill-%04d", rs.job.Name, rs.r, rs.spillSeq), out)
+	rs.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(run.Size()))
+	rs.Merger.AddRun(run)
+	span.End(p.Now())
+}
+
+// MergePass runs one charged multi-pass merge step.
+func (rs *ReduceSide) MergePass(p *sim.Proc) {
+	span := rs.rt.Timeline.Begin(engine.SpanMerge, p.Now())
+	cmpBefore, outBefore := rs.Merger.Comparisons, rs.Merger.BytesOut
+	rs.Merger.MergePass(p)
+	dCmp := rs.Merger.Comparisons - cmpBefore
+	dBytes := rs.Merger.BytesOut - outBefore
+	rs.node.Compute(p, engine.Dur(float64(dCmp), rs.costs.CompareNs)+
+		engine.Dur(float64(2*dBytes), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
+	rs.rt.Counters.Add(engine.CtrMergeComparisons, float64(dCmp))
+	rs.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(dBytes))
+	rs.rt.Counters.Add(engine.CtrMergePasses, 1)
+	span.End(p.Now())
+}
+
+// Finish completes the blocking tail: multi-pass merge down to one wave,
+// then the final merge feeding the reduce function, emitting into oc.
+func (rs *ReduceSide) Finish(p *sim.Proc, oc *engine.OutputCollector) {
+	for rs.Merger.Runs() > rs.Merger.FanIn {
+		rs.MergePass(p)
+	}
+	span := rs.rt.Timeline.Begin(engine.SpanReduce, p.Now())
+	streams := rs.Merger.FinalStreams(p)
+	streams = append(streams, rs.Acc.Streams()...)
+	cmps, inputs := MergeGroupReduce(streams, rs.job, func(k, v []byte) {
+		oc.Emit(p, rs.r, rs.node.ID, k, v)
+	})
+	rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs), engine.PhaseMerge)
+	rs.node.Compute(p, engine.Dur(float64(inputs), rs.costs.ReduceNsPerRecord), engine.PhaseReduce)
+	rs.node.Compute(p, engine.Dur(float64(inputs), rs.costs.FrameworkNsPerRecord), engine.PhaseFramework)
+	rs.rt.Counters.Add(engine.CtrMergeComparisons, float64(cmps))
+	rs.Merger.DeleteAll()
+	oc.Close(p, rs.r)
+	span.End(p.Now())
+}
+
+// MergeGroupReduce merges sorted streams, groups equal keys, and applies
+// the job's reduce function, returning comparison and input-value counts.
+func MergeGroupReduce(streams []kv.PairStream, job *engine.Job, emit engine.Emit) (cmps int64, inputs int) {
+	var curKey []byte
+	var vals [][]byte
+	flush := func() {
+		if curKey == nil {
+			return
+		}
+		job.Reduce(curKey, vals, emit)
+		inputs += len(vals)
+		curKey, vals = nil, nil
+	}
+	kv.MergeStreams(streams, &cmps, func(k, v []byte) {
+		if curKey == nil || kv.Compare(curKey, k, nil) != 0 {
+			flush()
+			curKey = append([]byte(nil), k...)
+		}
+		vals = append(vals, append([]byte(nil), v...))
+	})
+	flush()
+	return cmps, inputs
+}
+
+// JobCosts fills the cost fields the reduce side needs with defaults.
+func JobCosts(job *engine.Job) engine.CostModel {
+	c := job.Costs
+	d := engine.DefaultCosts()
+	if c.CompareNs == 0 {
+		c.CompareNs = d.CompareNs
+	}
+	if c.SerializeNsPerByte == 0 {
+		c.SerializeNsPerByte = d.SerializeNsPerByte
+	}
+	if c.CombineNsPerRecord == 0 {
+		c.CombineNsPerRecord = d.CombineNsPerRecord
+	}
+	if c.ReduceNsPerRecord == 0 {
+		c.ReduceNsPerRecord = d.ReduceNsPerRecord
+	}
+	if c.FrameworkNsPerRecord == 0 {
+		c.FrameworkNsPerRecord = d.FrameworkNsPerRecord
+	}
+	return c
+}

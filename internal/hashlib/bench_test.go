@@ -1,0 +1,36 @@
+package hashlib
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkHash16B(b *testing.B) {
+	h := NewFamily(1).New()
+	key := []byte("user-123456-page")
+	b.SetBytes(int64(len(key)))
+	for i := 0; i < b.N; i++ {
+		_ = h.Hash(key)
+	}
+}
+
+func BenchmarkHash64B(b *testing.B) {
+	h := NewFamily(1).New()
+	key := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		_ = h.Hash(key)
+	}
+}
+
+func BenchmarkBucket(b *testing.B) {
+	h := NewFamily(1).New()
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user-%06d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Bucket(keys[i&63], 60)
+	}
+}

@@ -1,0 +1,104 @@
+// Package hashlib is the paper's "hash function library": a seeded family
+// of pairwise-independent hash functions over byte-string keys. The hash
+// engine draws distinct functions from one family for map-side partitioning,
+// reduce-side grouping, and each recursion level of hybrid hash, so that a
+// key collision at one level does not correlate with collisions at the next.
+//
+// The construction is simple tabulation hashing (Zobrist): the key is
+// consumed byte-by-byte against per-position random tables, which is 3-wise
+// independent for fixed-length keys, combined with a length perturbation for
+// variable-length keys. Table entries come from a SplitMix64 stream seeded
+// per function.
+package hashlib
+
+// tabWidth is the number of byte-position tables; positions beyond it wrap
+// with a rotation so long keys still mix well.
+const tabWidth = 16
+
+// Func is one hash function from a family.
+type Func struct {
+	tables [tabWidth][256]uint64
+	lenMix uint64
+}
+
+// Family is a seeded generator of independent hash functions.
+type Family struct {
+	state uint64
+}
+
+// NewFamily returns a family seeded by seed.
+func NewFamily(seed uint64) *Family {
+	return &Family{state: seed*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019}
+}
+
+// splitmix64 advances the family's generator state.
+func (f *Family) next() uint64 {
+	f.state += 0x9E3779B97F4A7C15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// New draws the next hash function from the family.
+func (f *Family) New() *Func {
+	fn := &Func{lenMix: f.next() | 1}
+	for i := 0; i < tabWidth; i++ {
+		for b := 0; b < 256; b++ {
+			fn.tables[i][b] = f.next()
+		}
+	}
+	return fn
+}
+
+// NewAt returns the i-th function of a family with the given seed,
+// deterministically: NewAt(s, i) == NewFamily(s) advanced i times.
+func NewAt(seed uint64, i int) *Func {
+	f := NewFamily(seed)
+	var fn *Func
+	for j := 0; j <= i; j++ {
+		fn = f.New()
+	}
+	return fn
+}
+
+// Hash returns the 64-bit hash of key.
+func (h *Func) Hash(key []byte) uint64 {
+	var acc uint64
+	for i, b := range key {
+		v := h.tables[i%tabWidth][b]
+		rot := uint(i/tabWidth) & 63
+		acc ^= (v << rot) | (v >> (64 - rot))
+	}
+	return acc ^ (uint64(len(key)) * h.lenMix)
+}
+
+// Bucket maps key into [0, n) using the high bits of the hash (the low-bias
+// multiply-shift reduction).
+func (h *Func) Bucket(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Multiply-high reduction: unbiased enough and cheaper than mod.
+	hi, _ := mul64(h.Hash(key), uint64(n))
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo), without
+// math/bits so the package stays dependency-light for cost accounting.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	w0 := t & mask
+	k := t >> 32
+	t = a1*b0 + k
+	w1 := t & mask
+	w2 := t >> 32
+	t = a0*b1 + w1
+	k = t >> 32
+	hi = a1*b1 + w2 + k
+	lo = (t << 32) + w0
+	return hi, lo
+}

@@ -1,0 +1,186 @@
+package hashlib
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := NewFamily(7).New()
+	b := NewFamily(7).New()
+	key := []byte("user-12345")
+	if a.Hash(key) != b.Hash(key) {
+		t.Fatal("same seed must give same function")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := NewFamily(1).New()
+	b := NewFamily(2).New()
+	same := 0
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if a.Hash(key) == b.Hash(key) {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("%d/100 collisions across seeds", same)
+	}
+}
+
+func TestFamilyMembersIndependent(t *testing.T) {
+	f := NewFamily(3)
+	a, b := f.New(), f.New()
+	same := 0
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		if a.Bucket(key, 16) == b.Bucket(key, 16) {
+			same++
+		}
+	}
+	// Expected agreement for independent functions: ~100/16 ≈ 6.
+	if same > 20 {
+		t.Fatalf("family members agree on %d/100 bucket choices", same)
+	}
+}
+
+func TestNewAtMatchesSequentialDraws(t *testing.T) {
+	f := NewFamily(9)
+	f.New()
+	second := f.New()
+	direct := NewAt(9, 1)
+	key := []byte("abc")
+	if second.Hash(key) != direct.Hash(key) {
+		t.Fatal("NewAt must match sequential draws")
+	}
+}
+
+func TestEmptyAndShortKeys(t *testing.T) {
+	h := NewFamily(5).New()
+	if h.Hash(nil) != h.Hash([]byte{}) {
+		t.Fatal("nil and empty must hash alike")
+	}
+	if h.Hash([]byte{0}) == h.Hash(nil) {
+		t.Fatal("single zero byte must differ from empty")
+	}
+	if h.Hash([]byte{0}) == h.Hash([]byte{0, 0}) {
+		t.Fatal("length must perturb the hash")
+	}
+}
+
+func TestLongKeysMix(t *testing.T) {
+	h := NewFamily(5).New()
+	// Two long keys differing only at position 40 (beyond tabWidth).
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	b[40] = 1
+	if h.Hash(a) == h.Hash(b) {
+		t.Fatal("difference beyond table width must change the hash")
+	}
+}
+
+func TestBucketRangeProperty(t *testing.T) {
+	h := NewFamily(11).New()
+	f := func(key []byte, n uint8) bool {
+		buckets := int(n%64) + 1
+		b := h.Bucket(key, buckets)
+		return b >= 0 && b < buckets
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketSingleAndZero(t *testing.T) {
+	h := NewFamily(1).New()
+	if h.Bucket([]byte("x"), 1) != 0 || h.Bucket([]byte("x"), 0) != 0 {
+		t.Fatal("degenerate bucket counts must map to 0")
+	}
+}
+
+// Chi-square-style uniformity check: hash 40k distinct keys into 64 buckets
+// and require each bucket to be within 25% of the mean.
+func TestBucketUniformity(t *testing.T) {
+	h := NewFamily(123).New()
+	const n = 40000
+	const buckets = 64
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[h.Bucket([]byte(fmt.Sprintf("user-%d", i)), buckets)]++
+	}
+	mean := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-mean) > 0.25*mean {
+			t.Fatalf("bucket %d has %d keys, mean %.0f — too skewed", b, c, mean)
+		}
+	}
+}
+
+// Avalanche: flipping any single bit of an 8-byte key should flip roughly
+// half the output bits on average.
+func TestAvalanche(t *testing.T) {
+	h := NewFamily(77).New()
+	var totalFlips, trials int
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("%08d", i))
+		base := h.Hash(key)
+		for bit := 0; bit < 8*len(key); bit++ {
+			mut := append([]byte(nil), key...)
+			mut[bit/8] ^= 1 << (bit % 8)
+			diff := base ^ h.Hash(mut)
+			totalFlips += popcount(diff)
+			trials++
+		}
+	}
+	avg := float64(totalFlips) / float64(trials)
+	if avg < 24 || avg > 40 {
+		t.Fatalf("avalanche average = %.1f output bits, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Pairwise-independence spot check: over random key pairs, the collision
+// probability into k buckets should be close to 1/k.
+func TestPairwiseCollisionRate(t *testing.T) {
+	h := NewFamily(31).New()
+	const k = 32
+	const pairs = 20000
+	coll := 0
+	for i := 0; i < pairs; i++ {
+		a := []byte(fmt.Sprintf("alpha-%d", i))
+		b := []byte(fmt.Sprintf("beta-%d", i))
+		if h.Bucket(a, k) == h.Bucket(b, k) {
+			coll++
+		}
+	}
+	rate := float64(coll) / pairs
+	if rate > 2.0/k || rate < 0.5/k {
+		t.Fatalf("collision rate = %.4f, want ~%.4f", rate, 1.0/k)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package hop reproduces MapReduce Online (the Hadoop Online Prototype,
+// Condie et al., NSDI'10) as the paper's §III.D characterizes it: a fork of
+// Hadoop that pipelines map output to reducers eagerly in small sorted
+// chunks with adaptive backpressure (mappers stage chunks to local disk and
+// wait when reducers fall behind), and that emits periodic snapshot answers
+// at input fractions (25%, 50%, 75%) by repeating the merge over the data
+// received so far. The group-by core is still sort-merge — pipelining
+// redistributes the sorting/merging work between mappers and reducers but
+// does not remove the blocking multi-pass merge, which is the paper's
+// central observation about this system.
+package hop
+
+import (
+	"fmt"
+	"sort"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/hadoop"
+	"onepass/internal/kv"
+	"onepass/internal/sim"
+	"onepass/internal/sortmerge"
+)
+
+// Options tunes the engine.
+type Options struct {
+	// FanIn is the multi-pass merge factor (as in stock Hadoop).
+	FanIn int
+	// ChunkBytes is the pipelining granularity: map output is sorted and
+	// pushed in chunks of this size. Smaller chunks mean earlier delivery
+	// but more network operations and more reducer-side merge work.
+	ChunkBytes int64
+	// BackpressureBytes bounds a reducer's inbound queue; pushes beyond it
+	// force the mapper to stage the chunk to local disk and wait.
+	BackpressureBytes int64
+	// SnapshotFractions lists the input fractions at which reducers emit
+	// snapshot answers. Nil means the classic 25/50/75%.
+	SnapshotFractions []float64
+	// DisableSnapshots turns snapshot emission off.
+	DisableSnapshots bool
+}
+
+func (o *Options) defaults() {
+	if o.FanIn == 0 {
+		o.FanIn = sortmerge.DefaultFanIn
+	}
+	if o.ChunkBytes == 0 {
+		o.ChunkBytes = 256 << 10
+	}
+	if o.BackpressureBytes == 0 {
+		o.BackpressureBytes = 4 << 20
+	}
+	if o.SnapshotFractions == nil && !o.DisableSnapshots {
+		o.SnapshotFractions = []float64{0.25, 0.5, 0.75}
+	}
+}
+
+// Run executes job on rt with the MapReduce Online engine.
+func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if job.Reduce == nil {
+		return nil, fmt.Errorf("hop: job %q has no reduce function", job.Name)
+	}
+	if job.Speculation {
+		return nil, fmt.Errorf("hop: speculative execution is not supported — duplicate push attempts would double-deliver chunks (HOP trades fault tolerance for pipelining)")
+	}
+	blocks, err := rt.InputBlocks(job.InputPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%s: input %q has no blocks (was a chained stage's output discarded?)", "hop", job.InputPath)
+	}
+	opts.defaults()
+	costs := hadoop.JobCosts(&job)
+	res := &engine.Result{Job: job.Name, Engine: "hop"}
+	oc := rt.NewOutputCollector(&job, res)
+	reg := rt.NewRegistry(len(blocks)) // progress signal for snapshots
+	channels := rt.NewPushChannels(job.Reducers, opts.BackpressureBytes)
+	partition := hadoop.Partitioner()
+
+	rt.StartSampling()
+	mapsWG := rt.RunMaps(&job, blocks, func(p *sim.Proc, node *cluster.Node, b *dfs.Block) {
+		runMapTask(rt, p, node, &job, costs, b, partition, channels, &opts, reg)
+	})
+	redsWG := rt.RunReduces(&job, func(p *sim.Proc, node *cluster.Node, r int) {
+		runReduceTask(rt, p, node, &job, costs, channels[r], reg, oc, r, &opts)
+	})
+	rt.Env.Go("job-controller", func(p *sim.Proc) {
+		mapsWG.Wait(p)
+		for _, pc := range channels {
+			pc.Close()
+		}
+		redsWG.Wait(p)
+		rt.StopSampling()
+	})
+	rt.Env.Run()
+	rt.FinishResult(res)
+	return res, nil
+}
+
+// runMapTask maps a block, then pushes its output as small sorted chunks.
+func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner,
+	channels []*engine.PushChannel, opts *Options, reg *engine.Registry) {
+
+	buf, err := rt.ExecuteMap(p, node, job, b, partition)
+	if err != nil {
+		panic(fmt.Sprintf("hop: %v", err))
+	}
+	// Pipelined emission: walk pairs in production order, accumulating a
+	// per-reducer chunk; each full chunk is sorted (cheap — it's small) and
+	// pushed immediately. Sorting many small chunks costs fewer mapper
+	// comparisons than one big sort; the deficit reappears as extra merge
+	// comparisons in the reducers — HOP "moves some of the sorting work to
+	// reducers" (§III.D).
+	spillSeq := 0
+	idxByPart := make([][]int, job.Reducers)
+	var bytesByPart = make([]int64, job.Reducers)
+	flush := func(r int) {
+		idxs := idxByPart[r]
+		if len(idxs) == 0 {
+			return
+		}
+		idxByPart[r] = nil
+		bytesByPart[r] = 0
+		// Sort this chunk by key with real counted comparisons.
+		var cmps int64
+		sortIdxByKey(buf, idxs, &cmps)
+		node.Compute(p, engine.Dur(float64(cmps), costs.CompareNs), engine.PhaseSort)
+		rt.Counters.Add(engine.CtrSortComparisons, float64(cmps))
+		var enc []byte
+		for _, i := range idxs {
+			enc = kv.AppendPair(enc, buf.Key(i), buf.Val(i))
+		}
+		node.Compute(p, engine.Dur(float64(len(enc)), costs.SerializeNsPerByte), engine.PhaseMapFn)
+
+		toNode := rt.ReducerNode(r).ID
+		if !channels[r].TryPush(p, node.ID, toNode, b.Index, enc) {
+			// Adaptive mode: reducer overloaded. Stage the chunk to local
+			// disk, wait for the reducer to catch up, then push from disk.
+			store := node.ScratchStore()
+			spillSeq++
+			f := store.Create(fmt.Sprintf("%s/hop-map-%05d/stash-%04d", job.Name, b.Index, spillSeq), false)
+			store.Append(p, f, enc)
+			rt.Counters.Add(engine.CtrMapSpillBytes, float64(len(enc)))
+			channels[r].WaitSpace(p)
+			store.Device().Read(p, f.Size(), false)
+			store.Delete(f.Name())
+			if !channels[r].TryPush(p, node.ID, toNode, b.Index, enc) {
+				// Space check raced with another mapper; block until it
+				// really fits.
+				for !channels[r].TryPush(p, node.ID, toNode, b.Index, enc) {
+					channels[r].WaitSpace(p)
+				}
+			}
+		}
+	}
+	for i := 0; i < buf.Len(); i++ {
+		r := buf.Partition(i)
+		idxByPart[r] = append(idxByPart[r], i)
+		bytesByPart[r] += int64(len(buf.Key(i)) + len(buf.Val(i)))
+		if bytesByPart[r] >= opts.ChunkBytes {
+			flush(r)
+		}
+	}
+	for r := 0; r < job.Reducers; r++ {
+		flush(r)
+	}
+	// Register completion (progress signal for snapshot fractions); the
+	// data itself has all been pushed, so the output carries no bytes.
+	out := engine.NewMapOutput(p, node.ScratchStore(),
+		fmt.Sprintf("%s/hop-map-%05d/progress", job.Name, b.Index),
+		b.Index, node.ID, job.Reducers, func(int) []byte { return nil })
+	for r := range out.Pushed {
+		out.Pushed[r] = true
+	}
+	reg.Complete(out)
+}
+
+func sortIdxByKey(buf *kv.Buffer, idxs []int, cmps *int64) {
+	sort.Slice(idxs, func(a, b int) bool {
+		if c := kv.Compare(buf.Key(idxs[a]), buf.Key(idxs[b]), cmps); c != 0 {
+			return c < 0
+		}
+		return idxs[a] < idxs[b] // stable order at sort.Slice cost
+	})
+}
+
+// runReduceTask drains the push channel, spilling and merging exactly like
+// stock Hadoop, emitting snapshots as input fractions are crossed, and
+// finishing with the same blocking multi-pass + final merge.
+func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, pc *engine.PushChannel, reg *engine.Registry,
+	oc *engine.OutputCollector, r int, opts *Options) {
+
+	rs := hadoop.NewReduceSide(rt, job, costs, node, r, opts.FanIn)
+	snapIdx := 0
+
+	shuffleSpan := rt.Timeline.Begin(engine.SpanShuffle, p.Now())
+	for {
+		chunk, ok := pc.Pop(p)
+		if !ok {
+			break
+		}
+		rs.Add(p, chunk.Data)
+		// Snapshot when the input fraction crosses the next threshold.
+		for snapIdx < len(opts.SnapshotFractions) &&
+			float64(reg.Completed())/float64(reg.TotalMaps()) >= opts.SnapshotFractions[snapIdx] {
+			emitSnapshot(rt, p, node, job, costs, rs, oc, r, opts.SnapshotFractions[snapIdx])
+			snapIdx++
+		}
+	}
+	shuffleSpan.End(p.Now())
+
+	rs.Finish(p, oc)
+}
+
+// emitSnapshot repeats the merge over everything received so far — runs are
+// re-read from disk, in-memory segments re-streamed — and applies the
+// reduce function to produce an early answer. This is HOP's snapshot
+// mechanism; the repeated merge is exactly the "significant I/O overhead"
+// the paper calls out.
+func emitSnapshot(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, rs *hadoop.ReduceSide, oc *engine.OutputCollector, r int, frac float64) {
+
+	span := rt.Timeline.Begin(engine.SpanMerge, p.Now())
+	var streams []kv.PairStream
+	for _, run := range rs.Merger.RunList() {
+		streams = append(streams, sortmerge.NewStream(p, run))
+	}
+	streams = append(streams, rs.Acc.PeekStreams()...)
+	pairs := 0
+	sink := newSnapshotSink(rt, p, node, job, r, frac)
+	cmps, inputs := hadoop.MergeGroupReduce(streams, job, func(k, v []byte) {
+		pairs++
+		sink.write(k, v)
+	})
+	sink.flush()
+	node.Compute(p, engine.Dur(float64(cmps), costs.CompareNs), engine.PhaseMerge)
+	node.Compute(p, engine.Dur(float64(inputs), costs.ReduceNsPerRecord), engine.PhaseReduce)
+	rt.Counters.Add(engine.CtrMergeComparisons, float64(cmps))
+	rt.Counters.Add("hop.snapshot.pairs", float64(pairs))
+	oc.NoteSnapshot(p.Now(), frac, pairs)
+	span.End(p.Now())
+}
+
+// snapshotSink writes snapshot output to its own DFS file (discarded
+// payloads — only sizes matter) so snapshots don't pollute the final
+// output.
+type snapshotSink struct {
+	p      *sim.Proc
+	append func(p *sim.Proc, data []byte)
+	buf    []byte
+}
+
+func newSnapshotSink(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job, r int, frac float64) *snapshotSink {
+	path := fmt.Sprintf("%s/snapshot-%03.0f/part-r-%05d", job.OutputPath, frac*100, r)
+	w, err := rt.DFS.CreateWriter(path, node.ID, true)
+	if err != nil {
+		panic(fmt.Sprintf("hop: snapshot writer: %v", err))
+	}
+	return &snapshotSink{p: p, append: w.Append}
+}
+
+func (s *snapshotSink) write(k, v []byte) {
+	s.buf = kv.AppendPair(s.buf, k, v)
+	if len(s.buf) >= 128<<10 {
+		s.flush()
+	}
+}
+
+func (s *snapshotSink) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	s.append(s.p, s.buf)
+	s.buf = nil
+}

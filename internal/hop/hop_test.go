@@ -1,0 +1,141 @@
+package hop
+
+import (
+	"testing"
+
+	"onepass/internal/engine"
+	"onepass/internal/enginetest"
+	"onepass/internal/gen"
+	"onepass/internal/hadoop"
+	"onepass/internal/workloads"
+)
+
+func smallClicks() gen.ClickConfig {
+	cfg := gen.DefaultClickConfig()
+	cfg.Users = 300
+	cfg.URLs = 150
+	return cfg
+}
+
+func run(t *testing.T, w *workloads.Workload, cfg enginetest.Config, opts Options) (*enginetest.Fixture, *engine.Result) {
+	t.Helper()
+	f := enginetest.New(t, w, cfg)
+	res, err := Run(f.RT, f.Job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, res
+}
+
+func TestAllWorkloadsMatchReference(t *testing.T) {
+	docs := gen.DefaultDocConfig()
+	docs.Vocab = 400
+	docs.WordsPerDoc = 60
+	cases := []*workloads.Workload{
+		workloads.Sessionization(smallClicks()),
+		workloads.PageFrequency(smallClicks()),
+		workloads.PerUserCount(smallClicks()),
+		workloads.InvertedIndex(docs),
+	}
+	for _, w := range cases {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			f, res := run(t, w, enginetest.Config{}, Options{})
+			f.CheckOutput(t, w, res)
+		})
+	}
+}
+
+func TestSnapshotsEmitted(t *testing.T) {
+	w := workloads.Sessionization(smallClicks())
+	_, res := run(t, w, enginetest.Config{Reducers: 2}, Options{})
+	if len(res.Snapshots) == 0 {
+		t.Fatal("no snapshots emitted")
+	}
+	fracs := map[float64]bool{}
+	for _, s := range res.Snapshots {
+		fracs[s.Fraction] = true
+		if s.At <= 0 {
+			t.Error("snapshot without timestamp")
+		}
+	}
+	if !fracs[0.25] && !fracs[0.5] && !fracs[0.75] {
+		t.Fatalf("unexpected snapshot fractions: %v", res.Snapshots)
+	}
+	// Snapshots must precede job completion.
+	if res.Snapshots[0].At >= res.FirstOutputAt && res.OutputPairs > 0 {
+		t.Fatalf("first snapshot at %v not before final output at %v",
+			res.Snapshots[0].At, res.FirstOutputAt)
+	}
+}
+
+func TestSnapshotsCanBeDisabled(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	f, res := run(t, w, enginetest.Config{}, Options{DisableSnapshots: true})
+	if len(res.Snapshots) != 0 {
+		t.Fatalf("snapshots = %v", res.Snapshots)
+	}
+	f.CheckOutput(t, w, res)
+}
+
+func TestBackpressureSpillsToMapperDisk(t *testing.T) {
+	w := workloads.Sessionization(smallClicks())
+	// Tiny inbound queues force the adaptive path: mappers stage chunks to
+	// local disk and wait.
+	// Tiny reducer memory keeps the reducers busy spilling while chunks
+	// keep arriving, so their inbound queues overflow.
+	f, res := run(t, w, enginetest.Config{Reducers: 2, MemPerTask: 4 << 10},
+		Options{ChunkBytes: 2 << 10, BackpressureBytes: 4 << 10, FanIn: 2, DisableSnapshots: true})
+	if res.Counters.Get(engine.CtrMapSpillBytes) == 0 {
+		t.Fatal("expected mapper-side staging under backpressure")
+	}
+	f.CheckOutput(t, w, res)
+}
+
+func TestStillBlockingLikeHadoop(t *testing.T) {
+	// HOP's pipelining must not make the final answer incremental: first
+	// *final* output still comes after the last map completes.
+	w := workloads.Sessionization(smallClicks())
+	_, res := run(t, w, enginetest.Config{}, Options{DisableSnapshots: true})
+	_, mapEnd, _ := res.Timeline.PhaseWindow(engine.SpanMap)
+	if res.FirstOutputAt < mapEnd {
+		t.Fatalf("first output %v before map end %v", res.FirstOutputAt, mapEnd)
+	}
+}
+
+func TestSortWorkMovedToReducers(t *testing.T) {
+	// Mapper-side sort comparisons must be lower than stock Hadoop's, and
+	// reducer-side merge comparisons higher — work redistributed, not
+	// removed (§III.D).
+	w1 := workloads.Sessionization(smallClicks())
+	fHop := enginetest.New(t, w1, enginetest.Config{})
+	hopRes, err := Run(fHop.RT, fHop.Job, Options{ChunkBytes: 4 << 10, DisableSnapshots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := workloads.Sessionization(smallClicks())
+	fH := enginetest.New(t, w2, enginetest.Config{})
+	hRes, err := hadoop.Run(fH.RT, fH.Job, hadoop.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopSort := hopRes.Counters.Get(engine.CtrSortComparisons)
+	hSort := hRes.Counters.Get(engine.CtrSortComparisons)
+	if hopSort >= hSort {
+		t.Errorf("HOP mapper sort comparisons %v should be < Hadoop's %v", hopSort, hSort)
+	}
+	hopMerge := hopRes.Counters.Get(engine.CtrMergeComparisons)
+	hMerge := hRes.Counters.Get(engine.CtrMergeComparisons)
+	if hopMerge <= hMerge {
+		t.Errorf("HOP merge comparisons %v should be > Hadoop's %v", hopMerge, hMerge)
+	}
+}
+
+func TestShuffleBytesMatchMapOutput(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	_, res := run(t, w, enginetest.Config{}, Options{DisableSnapshots: true})
+	shuffled := res.Counters.Get(engine.CtrShuffleBytes)
+	if shuffled == 0 {
+		t.Fatal("nothing shuffled")
+	}
+}

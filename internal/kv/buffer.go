@@ -1,0 +1,122 @@
+package kv
+
+import "sort"
+
+// Buffer is the map-side output buffer: raw pair bytes in one flat array
+// plus one reference per pair carrying its partition — the byte-array
+// layout Hadoop sorts on the compound (partition, key) before writing the
+// map output file (§II.A).
+type Buffer struct {
+	data []byte
+	refs []ref
+}
+
+type ref struct {
+	part       int32
+	off        int32
+	klen, vlen int32
+}
+
+// NewBuffer returns an empty buffer with an initial byte capacity hint.
+func NewBuffer(capBytes int) *Buffer {
+	if capBytes < 0 {
+		capBytes = 0
+	}
+	return &Buffer{data: make([]byte, 0, capBytes)}
+}
+
+// Add appends one pair destined for partition p.
+func (b *Buffer) Add(p int, key, val []byte) {
+	off := int32(len(b.data))
+	b.data = append(b.data, key...)
+	b.data = append(b.data, val...)
+	b.refs = append(b.refs, ref{part: int32(p), off: off, klen: int32(len(key)), vlen: int32(len(val))})
+}
+
+// Len returns the number of pairs buffered.
+func (b *Buffer) Len() int { return len(b.refs) }
+
+// Bytes returns the payload byte volume (keys + values).
+func (b *Buffer) Bytes() int64 { return int64(len(b.data)) }
+
+// Key returns the i-th pair's key (aliasing the buffer).
+func (b *Buffer) Key(i int) []byte {
+	r := b.refs[i]
+	return b.data[r.off : r.off+r.klen]
+}
+
+// Val returns the i-th pair's value (aliasing the buffer).
+func (b *Buffer) Val(i int) []byte {
+	r := b.refs[i]
+	return b.data[r.off+r.klen : r.off+r.klen+r.vlen]
+}
+
+// Partition returns the i-th pair's partition.
+func (b *Buffer) Partition(i int) int { return int(b.refs[i].part) }
+
+// Reset clears the buffer for reuse, keeping capacity.
+func (b *Buffer) Reset() {
+	b.data = b.data[:0]
+	b.refs = b.refs[:0]
+}
+
+// SortByPartitionKey sorts pairs by (partition, key), counting key
+// comparisons into counter — the CPU the paper's Table II attributes to
+// map-side sorting.
+func (b *Buffer) SortByPartitionKey(counter *int64) {
+	// sort.Slice with an offset tiebreak gives the same order as a stable
+	// sort (offsets increase in insertion order) at a fraction of the cost.
+	sort.Slice(b.refs, func(i, j int) bool {
+		if counter != nil {
+			*counter++
+		}
+		ri, rj := b.refs[i], b.refs[j]
+		if ri.part != rj.part {
+			return ri.part < rj.part
+		}
+		if c := Compare(b.data[ri.off:ri.off+ri.klen], b.data[rj.off:rj.off+rj.klen], nil); c != 0 {
+			return c < 0
+		}
+		return ri.off < rj.off
+	})
+}
+
+// PartitionRange returns the index range [lo, hi) of pairs in partition p.
+// The buffer must already be sorted by partition (SortByPartitionKey).
+func (b *Buffer) PartitionRange(p int) (lo, hi int) {
+	lo = sort.Search(len(b.refs), func(i int) bool { return int(b.refs[i].part) >= p })
+	hi = sort.Search(len(b.refs), func(i int) bool { return int(b.refs[i].part) > p })
+	return lo, hi
+}
+
+// EncodeRange returns the encoded bytes of pairs [lo, hi).
+func (b *Buffer) EncodeRange(lo, hi int) []byte {
+	var out []byte
+	for i := lo; i < hi; i++ {
+		out = AppendPair(out, b.Key(i), b.Val(i))
+	}
+	return out
+}
+
+// RangeStream streams pairs [lo, hi) of the buffer in index order.
+type RangeStream struct {
+	buf *Buffer
+	cur int
+	end int
+}
+
+// NewRangeStream returns a stream over pairs [lo, hi).
+func (b *Buffer) NewRangeStream(lo, hi int) *RangeStream {
+	return &RangeStream{buf: b, cur: lo, end: hi}
+}
+
+// Peek implements PairStream.
+func (s *RangeStream) Peek() ([]byte, []byte, bool) {
+	if s.cur >= s.end {
+		return nil, nil, false
+	}
+	return s.buf.Key(s.cur), s.buf.Val(s.cur), true
+}
+
+// Advance implements PairStream.
+func (s *RangeStream) Advance() { s.cur++ }

@@ -1,0 +1,222 @@
+// Package kv defines the key-value record model shared by all engines:
+// a compact length-prefixed encoding, a byte-array map-output buffer that
+// sorts by (partition, key) exactly like Hadoop's map-side buffer, counted
+// byte-string comparison (the engines charge CPU per real comparison), and
+// a k-way merge over sorted pair streams.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// AppendPair appends the encoding of (key, val) to dst and returns dst.
+// Layout: uvarint(klen) uvarint(vlen) key val.
+func AppendPair(dst, key, val []byte) []byte {
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	dst = append(dst, hdr[:n]...)
+	dst = append(dst, key...)
+	dst = append(dst, val...)
+	return dst
+}
+
+// EncodedSize returns the encoded size of (key, val).
+func EncodedSize(key, val []byte) int {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[:], uint64(len(val)))
+	return n + len(key) + len(val)
+}
+
+// DecodePair decodes one pair from the front of buf. It returns n=0 when
+// buf does not hold a complete pair (clean EOF or a partial record at a
+// chunk boundary); otherwise n is the encoded length consumed.
+func DecodePair(buf []byte) (key, val []byte, n int) {
+	klen, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, nil, 0
+	}
+	vlen, v := binary.Uvarint(buf[k:])
+	if v <= 0 {
+		return nil, nil, 0
+	}
+	total := k + v + int(klen) + int(vlen)
+	if len(buf) < total {
+		return nil, nil, 0
+	}
+	key = buf[k+v : k+v+int(klen)]
+	val = buf[k+v+int(klen) : total]
+	return key, val, total
+}
+
+// Compare compares two byte-string keys, incrementing *counter by the
+// byte positions examined (a proxy for real comparison cost, charged to
+// virtual CPU by the engines). A nil counter is allowed.
+func Compare(a, b []byte, counter *int64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if counter != nil {
+		// Cost model: one comparison operation; byte-length effects are
+		// second-order, so count operations, not bytes.
+		*counter++
+	}
+	return bytes.Compare(a, b)
+}
+
+// Decoder iterates the pairs of one encoded byte buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Next returns the next pair; ok=false at end of buffer.
+func (d *Decoder) Next() (key, val []byte, ok bool) {
+	key, val, n := DecodePair(d.buf[d.off:])
+	if n == 0 {
+		return nil, nil, false
+	}
+	d.off += n
+	return key, val, true
+}
+
+// Remaining returns the undecoded byte count.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// PairStream is a peekable stream of key-value pairs, the interface the
+// k-way merge and grouping operators consume.
+type PairStream interface {
+	// Peek returns the current pair without consuming it; ok=false at end.
+	Peek() (key, val []byte, ok bool)
+	// Advance consumes the current pair.
+	Advance()
+}
+
+// SliceStream streams an in-memory encoded buffer.
+type SliceStream struct {
+	dec              *Decoder
+	curKey, curVal   []byte
+	valid, exhausted bool
+}
+
+// NewSliceStream returns a stream over encoded pairs in buf.
+func NewSliceStream(buf []byte) *SliceStream {
+	return &SliceStream{dec: NewDecoder(buf)}
+}
+
+// Peek implements PairStream.
+func (s *SliceStream) Peek() ([]byte, []byte, bool) {
+	if !s.valid && !s.exhausted {
+		s.curKey, s.curVal, s.valid = s.dec.Next()
+		if !s.valid {
+			s.exhausted = true
+		}
+	}
+	return s.curKey, s.curVal, s.valid
+}
+
+// Advance implements PairStream.
+func (s *SliceStream) Advance() { s.valid = false }
+
+// MergeStreams merges sorted streams into emit in ascending key order,
+// using a tournament among current heads; comparisons are counted into
+// counter. Ties are broken by stream index, so merging is stable across
+// runs — the order Hadoop's merge produces.
+func MergeStreams(streams []PairStream, counter *int64, emit func(key, val []byte)) {
+	type head struct {
+		idx int
+	}
+	// Simple binary heap over stream indices keyed by their peeked key.
+	h := make([]int, 0, len(streams))
+	less := func(a, b int) bool {
+		ka, _, _ := streams[a].Peek()
+		kb, _, _ := streams[b].Peek()
+		if c := Compare(ka, kb, counter); c != 0 {
+			return c < 0
+		}
+		return a < b
+	}
+	var down func(i int)
+	down = func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h) && less(h[l], h[small]) {
+				small = l
+			}
+			if r < len(h) && less(h[r], h[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			h[i], h[small] = h[small], h[i]
+			i = small
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(h[i], h[parent]) {
+				return
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+	for i, s := range streams {
+		if _, _, ok := s.Peek(); ok {
+			h = append(h, i)
+			up(len(h) - 1)
+		}
+	}
+	for len(h) > 0 {
+		top := h[0]
+		k, v, _ := streams[top].Peek()
+		emit(k, v)
+		streams[top].Advance()
+		if _, _, ok := streams[top].Peek(); ok {
+			down(0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			if len(h) > 0 {
+				down(0)
+			}
+		}
+	}
+}
+
+// GroupSorted walks a sorted stream and invokes fn once per distinct key
+// with all its values, in order — the reduce-side grouping over a merged
+// run. Value slices are copied, so they survive the stream advancing.
+func GroupSorted(s PairStream, counter *int64, fn func(key []byte, vals [][]byte)) {
+	var curKey []byte
+	var vals [][]byte
+	haveKey := false
+	for {
+		k, v, ok := s.Peek()
+		if !ok {
+			break
+		}
+		if !haveKey || Compare(curKey, k, counter) != 0 {
+			if haveKey {
+				fn(curKey, vals)
+			}
+			curKey = append([]byte(nil), k...)
+			vals = nil
+			haveKey = true
+		}
+		vals = append(vals, append([]byte(nil), v...))
+		s.Advance()
+	}
+	if haveKey {
+		fn(curKey, vals)
+	}
+}

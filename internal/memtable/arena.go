@@ -1,0 +1,82 @@
+// Package memtable is the paper's byte-array memory-management library
+// (§V): an arena allocator, an open-addressing hash table whose keys live in
+// arena slabs, and a chunked list store for per-key growable state. The
+// point in the paper was to avoid per-object JVM overhead; here it gives the
+// same flat-memory layout plus the exact byte accounting the hash engines
+// need to decide when a reducer's in-memory state exceeds its budget and
+// something must spill.
+package memtable
+
+// Arena is a slab allocator. Allocations are never freed individually;
+// Reset recycles all slabs at once (the lifetime pattern of a task's
+// in-memory state).
+type Arena struct {
+	slabSize int
+	slabs    [][]byte
+	cur      []byte
+	used     int64
+}
+
+// DefaultSlabSize is 256 KB: big enough to amortize slab overhead, small
+// enough that a nearly-empty arena doesn't distort memory accounting.
+const DefaultSlabSize = 256 << 10
+
+// NewArena returns an arena with the given slab size (DefaultSlabSize if
+// slabSize <= 0).
+func NewArena(slabSize int) *Arena {
+	if slabSize <= 0 {
+		slabSize = DefaultSlabSize
+	}
+	return &Arena{slabSize: slabSize}
+}
+
+// Alloc returns a zeroed n-byte slice inside the arena.
+func (a *Arena) Alloc(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	a.used += int64(n)
+	if n > a.slabSize {
+		// Oversized allocation gets a dedicated slab.
+		slab := make([]byte, n)
+		a.slabs = append(a.slabs, slab)
+		return slab
+	}
+	if len(a.cur) < n {
+		a.cur = make([]byte, a.slabSize)
+		a.slabs = append(a.slabs, a.cur)
+	}
+	out := a.cur[:n:n]
+	a.cur = a.cur[n:]
+	return out
+}
+
+// Copy allocates and fills a copy of b.
+func (a *Arena) Copy(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := a.Alloc(len(b))
+	copy(out, b)
+	return out
+}
+
+// Used returns total bytes handed out since the last Reset.
+func (a *Arena) Used() int64 { return a.used }
+
+// Footprint returns total bytes reserved from the host (slab capacity).
+func (a *Arena) Footprint() int64 {
+	var t int64
+	for _, s := range a.slabs {
+		t += int64(len(s))
+	}
+	return t
+}
+
+// Reset discards all allocations. Previously returned slices must no longer
+// be used; slabs are released to the garbage collector.
+func (a *Arena) Reset() {
+	a.slabs = nil
+	a.cur = nil
+	a.used = 0
+}

@@ -1,0 +1,130 @@
+package memtable
+
+import "encoding/binary"
+
+// ListStore holds per-key growable record lists in arena-backed chunks:
+// the reduce-side state for holistic functions (sessionization click lists,
+// inverted-index postings). Records are length-prefixed inside chunks;
+// chunks double from 64 bytes up to 16 KB as a list grows.
+type ListStore struct {
+	arena  *Arena
+	chunks []chunk
+	lists  []listMeta
+}
+
+type chunk struct {
+	buf  []byte
+	used int
+	next int32
+}
+
+type listMeta struct {
+	head, tail int32
+	bytes      int64
+	count      int
+}
+
+const (
+	minChunk = 64
+	maxChunk = 16 << 10
+)
+
+// ListID names one list within a store.
+type ListID int32
+
+// NewListStore returns an empty store over arena.
+func NewListStore(arena *Arena) *ListStore {
+	return &ListStore{arena: arena}
+}
+
+// NewList creates an empty list.
+func (s *ListStore) NewList() ListID {
+	s.lists = append(s.lists, listMeta{head: -1, tail: -1})
+	return ListID(len(s.lists) - 1)
+}
+
+// Lists returns the number of lists created.
+func (s *ListStore) Lists() int { return len(s.lists) }
+
+func (s *ListStore) newChunk(size int) int32 {
+	s.chunks = append(s.chunks, chunk{buf: s.arena.Alloc(size), next: -1})
+	return int32(len(s.chunks) - 1)
+}
+
+// Append adds one record to the end of the list.
+func (s *ListStore) Append(id ListID, rec []byte) {
+	m := &s.lists[id]
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(rec)))
+	need := n + len(rec)
+
+	if m.tail < 0 || len(s.chunks[m.tail].buf)-s.chunks[m.tail].used < need {
+		size := minChunk
+		if m.tail >= 0 {
+			size = len(s.chunks[m.tail].buf) * 2
+			if size > maxChunk {
+				size = maxChunk
+			}
+		}
+		if size < need {
+			size = need
+		}
+		c := s.newChunk(size)
+		if m.tail < 0 {
+			m.head = c
+		} else {
+			s.chunks[m.tail].next = c
+		}
+		m.tail = c
+	}
+	c := &s.chunks[m.tail]
+	copy(c.buf[c.used:], hdr[:n])
+	copy(c.buf[c.used+n:], rec)
+	c.used += need
+	m.bytes += int64(len(rec))
+	m.count++
+}
+
+// Iterate visits the list's records in append order until f returns false.
+// Record slices alias arena memory.
+func (s *ListStore) Iterate(id ListID, f func(rec []byte) bool) {
+	m := &s.lists[id]
+	for ci := m.head; ci >= 0; ci = s.chunks[ci].next {
+		c := &s.chunks[ci]
+		off := 0
+		for off < c.used {
+			l, n := binary.Uvarint(c.buf[off:c.used])
+			off += n
+			if !f(c.buf[off : off+int(l)]) {
+				return
+			}
+			off += int(l)
+		}
+	}
+}
+
+// Records returns a copy of all records in the list.
+func (s *ListStore) Records(id ListID) [][]byte {
+	var out [][]byte
+	s.Iterate(id, func(rec []byte) bool {
+		out = append(out, append([]byte(nil), rec...))
+		return true
+	})
+	return out
+}
+
+// ListBytes returns the payload bytes stored in the list.
+func (s *ListStore) ListBytes(id ListID) int64 { return s.lists[id].bytes }
+
+// ListLen returns the number of records in the list.
+func (s *ListStore) ListLen(id ListID) int { return s.lists[id].count }
+
+// UsedBytes returns the arena bytes consumed by this store's chunks. (The
+// arena may be shared; this counts only list chunks.)
+func (s *ListStore) UsedBytes() int64 {
+	var t int64
+	for i := range s.chunks {
+		t += int64(len(s.chunks[i].buf))
+	}
+	return t
+}

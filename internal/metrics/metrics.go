@@ -1,0 +1,278 @@
+// Package metrics collects the observables the paper plots: per-second CPU
+// utilization, CPU iowait, disk bytes read/written, task timelines, and
+// per-phase CPU-cycle accounting. All values are keyed by virtual time from
+// the sim package; a Sampler process snapshots cumulative integrals every
+// bucket and stores per-bucket deltas, mirroring how iostat/ps sampled the
+// paper's physical cluster.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"onepass/internal/sim"
+)
+
+// Series is a bucketed time series. Bucket i covers virtual time
+// [i*Bucket, (i+1)*Bucket).
+type Series struct {
+	Name   string
+	Unit   string
+	Bucket sim.Duration
+	vals   []float64
+}
+
+// NewSeries returns an empty series with the given bucket width.
+func NewSeries(name, unit string, bucket sim.Duration) *Series {
+	if bucket <= 0 {
+		panic("metrics: bucket must be positive")
+	}
+	return &Series{Name: name, Unit: unit, Bucket: bucket}
+}
+
+func (s *Series) bucketIndex(t sim.Time) int {
+	return int(int64(t) / int64(s.Bucket))
+}
+
+func (s *Series) grow(idx int) {
+	for len(s.vals) <= idx {
+		s.vals = append(s.vals, 0)
+	}
+}
+
+// Add accumulates v into the bucket containing t.
+func (s *Series) Add(t sim.Time, v float64) {
+	idx := s.bucketIndex(t)
+	s.grow(idx)
+	s.vals[idx] += v
+}
+
+// Set overwrites the bucket containing t.
+func (s *Series) Set(t sim.Time, v float64) {
+	idx := s.bucketIndex(t)
+	s.grow(idx)
+	s.vals[idx] = v
+}
+
+// Values returns the underlying bucket values.
+func (s *Series) Values() []float64 { return s.vals }
+
+// Len returns the number of buckets recorded.
+func (s *Series) Len() int { return len(s.vals) }
+
+// At returns the value of bucket i, or 0 past the end.
+func (s *Series) At(i int) float64 {
+	if i < 0 || i >= len(s.vals) {
+		return 0
+	}
+	return s.vals[i]
+}
+
+// Max returns the largest bucket value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean over all buckets (0 for empty).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Sum returns the total over all buckets.
+func (s *Series) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum
+}
+
+// MeanOver returns the mean over buckets [from, to) clamped to the series.
+func (s *Series) MeanOver(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.vals) {
+		to = len(s.vals)
+	}
+	if to <= from {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals[from:to] {
+		sum += v
+	}
+	return sum / float64(to-from)
+}
+
+// sparkRunes index by level, low to high.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders the series as a sparkline scaled to its own maximum, for
+// eyeballing figure shapes in bench output.
+func (s *Series) Spark() string {
+	if len(s.vals) == 0 {
+		return "(empty)"
+	}
+	max := s.Max()
+	var b strings.Builder
+	for _, v := range s.vals {
+		level := 0
+		if max > 0 {
+			level = int(v / max * float64(len(sparkRunes)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkRunes) {
+			level = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+// Downsample returns a new series whose buckets each aggregate factor
+// consecutive buckets of s using the mean. Used to keep sparklines readable
+// for long runs.
+func (s *Series) Downsample(factor int) *Series {
+	if factor <= 1 {
+		return s
+	}
+	out := NewSeries(s.Name, s.Unit, s.Bucket*sim.Duration(factor))
+	for i := 0; i < len(s.vals); i += factor {
+		end := i + factor
+		if end > len(s.vals) {
+			end = len(s.vals)
+		}
+		sum := 0.0
+		for _, v := range s.vals[i:end] {
+			sum += v
+		}
+		out.vals = append(out.vals, sum/float64(end-i))
+	}
+	return out
+}
+
+// Counters is a bag of named cumulative counters (bytes spilled, records
+// emitted, comparisons executed, ...).
+type Counters struct {
+	vals map[string]float64
+}
+
+// NewCounters returns an empty counter bag.
+func NewCounters() *Counters { return &Counters{vals: make(map[string]float64)} }
+
+// Add accumulates v into name.
+func (c *Counters) Add(name string, v float64) { c.vals[name] += v }
+
+// Get returns the value of name (0 if absent).
+func (c *Counters) Get(name string) float64 { return c.vals[name] }
+
+// Names returns all counter names, sorted.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for n := range c.vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CPUAccount attributes CPU seconds to named phases ("map-fn", "sort",
+// "merge", ...), reproducing the paper's Table II accounting.
+type CPUAccount struct {
+	seconds map[string]float64
+}
+
+// NewCPUAccount returns an empty account.
+func NewCPUAccount() *CPUAccount { return &CPUAccount{seconds: make(map[string]float64)} }
+
+// Add charges d of CPU time to phase.
+func (a *CPUAccount) Add(phase string, d sim.Duration) { a.seconds[phase] += d.Seconds() }
+
+// Seconds returns the CPU seconds charged to phase.
+func (a *CPUAccount) Seconds(phase string) float64 { return a.seconds[phase] }
+
+// Total returns the CPU seconds across all phases. Summation follows the
+// sorted phase order: float addition is order-sensitive in its last bits,
+// and map iteration order would make byte-identical runs report totals
+// differing by ULPs.
+func (a *CPUAccount) Total() float64 {
+	t := 0.0
+	for _, phase := range a.Phases() {
+		t += a.seconds[phase]
+	}
+	return t
+}
+
+// Share returns phase's fraction of the total (0 if the account is empty).
+func (a *CPUAccount) Share(phase string) float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return a.seconds[phase] / t
+}
+
+// Phases returns all phase names, sorted.
+func (a *CPUAccount) Phases() []string {
+	names := make([]string, 0, len(a.seconds))
+	for n := range a.seconds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every phase of other into a.
+func (a *CPUAccount) Merge(other *CPUAccount) {
+	for phase, s := range other.seconds {
+		a.seconds[phase] += s
+	}
+}
+
+// Clone returns a copy of the account.
+func (a *CPUAccount) Clone() *CPUAccount {
+	out := NewCPUAccount()
+	out.Merge(a)
+	return out
+}
+
+// Sub subtracts a baseline from every phase (for per-job accounting on a
+// shared cluster).
+func (a *CPUAccount) Sub(base *CPUAccount) {
+	for phase, s := range base.seconds {
+		a.seconds[phase] -= s
+	}
+}
+
+// FormatBytes renders a byte count with a binary-ish human suffix.
+func FormatBytes(b float64) string {
+	abs := math.Abs(b)
+	switch {
+	case abs >= 1<<30:
+		return fmt.Sprintf("%.2f GB", b/(1<<30))
+	case abs >= 1<<20:
+		return fmt.Sprintf("%.2f MB", b/(1<<20))
+	case abs >= 1<<10:
+		return fmt.Sprintf("%.2f KB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import "onepass/internal/sim"
+
+// A Probe returns a cumulative quantity (a time integral such as busy
+// unit-seconds, or a byte counter) as of the current virtual time.
+type Probe func() float64
+
+// Sampler is a simulation process that snapshots probes every interval and
+// records per-interval deltas into series — the virtual-time analogue of the
+// iostat/ps logging loop the paper used.
+type Sampler struct {
+	env      *sim.Env
+	interval sim.Duration
+	probes   []probeEntry
+	stopped  bool
+	started  bool
+}
+
+type probeEntry struct {
+	probe  Probe
+	scale  float64 // multiplier applied to each delta
+	series *Series
+	last   float64
+	gauge  bool // record the instantaneous value rather than the delta
+}
+
+// NewSampler returns a sampler ticking at the given interval.
+func NewSampler(env *sim.Env, interval sim.Duration) *Sampler {
+	if interval <= 0 {
+		panic("metrics: sampler interval must be positive")
+	}
+	return &Sampler{env: env, interval: interval}
+}
+
+// TrackDelta records scale x (probe delta per interval) into a new series.
+// For a busy-time integral, scale = 1/(intervalSeconds x capacity) yields
+// utilization in [0,1].
+func (s *Sampler) TrackDelta(name, unit string, probe Probe, scale float64) *Series {
+	series := NewSeries(name, unit, s.interval)
+	s.probes = append(s.probes, probeEntry{probe: probe, scale: scale, series: series})
+	return series
+}
+
+// TrackGauge records the instantaneous probe value each tick.
+func (s *Sampler) TrackGauge(name, unit string, probe Probe) *Series {
+	series := NewSeries(name, unit, s.interval)
+	s.probes = append(s.probes, probeEntry{probe: probe, scale: 1, series: series, gauge: true})
+	return series
+}
+
+// Start spawns the sampling process. The sampler runs until Stop is called;
+// it takes one final sample on its first tick after Stop so the last partial
+// interval is captured.
+func (s *Sampler) Start() {
+	if s.started {
+		panic("metrics: sampler started twice")
+	}
+	s.started = true
+	for i := range s.probes {
+		s.probes[i].last = s.probes[i].probe()
+	}
+	s.env.Go("metrics-sampler", func(p *sim.Proc) {
+		for {
+			p.Sleep(s.interval)
+			s.sample(p.Now())
+			if s.stopped {
+				return
+			}
+		}
+	})
+}
+
+// Stop tells the sampler to exit at its next tick.
+func (s *Sampler) Stop() { s.stopped = true }
+
+func (s *Sampler) sample(now sim.Time) {
+	// Record into the bucket that just ended: now falls exactly on a bucket
+	// boundary, so step back one nanosecond.
+	at := now - 1
+	if at < 0 {
+		at = 0
+	}
+	for i := range s.probes {
+		e := &s.probes[i]
+		cur := e.probe()
+		if e.gauge {
+			e.series.Set(at, cur)
+			continue
+		}
+		e.series.Add(at, (cur-e.last)*e.scale)
+		e.last = cur
+	}
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"onepass/internal/sim"
+)
+
+// Span is one task-phase interval on the timeline (e.g. one map task's
+// execution, one multi-pass merge operation).
+type Span struct {
+	Phase  string
+	Start  sim.Time
+	Finish sim.Time
+	open   bool
+}
+
+// Timeline records task spans and reproduces the paper's Fig. 2(a)/Fig. 3
+// "number of tasks per operation over time" plots.
+type Timeline struct {
+	spans []*Span
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Begin opens a span for phase at time t. Call End on the returned span.
+func (tl *Timeline) Begin(phase string, t sim.Time) *Span {
+	s := &Span{Phase: phase, Start: t, open: true}
+	tl.spans = append(tl.spans, s)
+	return s
+}
+
+// End closes the span at time t.
+func (s *Span) End(t sim.Time) {
+	if !s.open {
+		panic("metrics: span ended twice")
+	}
+	s.Finish = t
+	s.open = false
+}
+
+// Spans returns all recorded spans.
+func (tl *Timeline) Spans() []*Span { return tl.spans }
+
+// Phases returns the distinct phase names in first-seen order.
+func (tl *Timeline) Phases() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range tl.spans {
+		if !seen[s.Phase] {
+			seen[s.Phase] = true
+			out = append(out, s.Phase)
+		}
+	}
+	return out
+}
+
+// Counts returns, for each phase, a series of the number of spans active in
+// each bucket. end is the overall horizon (usually the job makespan).
+func (tl *Timeline) Counts(bucket sim.Duration, end sim.Time) map[string]*Series {
+	out := make(map[string]*Series)
+	for _, phase := range tl.Phases() {
+		out[phase] = NewSeries(phase, "tasks", bucket)
+	}
+	nBuckets := int(int64(end)/int64(bucket)) + 1
+	for _, s := range tl.spans {
+		series := out[s.Phase]
+		e := s.Finish
+		if s.open {
+			e = end
+		}
+		first := int(int64(s.Start) / int64(bucket))
+		last := int(int64(e) / int64(bucket))
+		if e > s.Start && int64(e)%int64(bucket) == 0 {
+			last-- // span ending exactly on a boundary is not active in the next bucket
+		}
+		if last >= nBuckets {
+			last = nBuckets - 1
+		}
+		for b := first; b <= last; b++ {
+			series.Add(sim.Time(int64(b)*int64(bucket)), 1)
+		}
+	}
+	// Pad all series to the full horizon so they align.
+	for _, s := range out {
+		s.Set(sim.Time(int64(nBuckets-1)*int64(bucket)), s.At(nBuckets-1))
+	}
+	return out
+}
+
+// PhaseWindow returns the earliest start and latest end across spans of
+// phase, and whether any such span exists.
+func (tl *Timeline) PhaseWindow(phase string) (start, end sim.Time, ok bool) {
+	for _, s := range tl.spans {
+		if s.Phase != phase {
+			continue
+		}
+		if !ok || s.Start < start {
+			start = s.Start
+		}
+		if s.Finish > end {
+			end = s.Finish
+		}
+		ok = true
+	}
+	return start, end, ok
+}
+
+// CountByPhase returns the number of spans per phase.
+func (tl *Timeline) CountByPhase() map[string]int {
+	out := make(map[string]int)
+	for _, s := range tl.spans {
+		out[s.Phase]++
+	}
+	return out
+}
+
+// Render draws the per-phase task-count sparklines, one row per phase,
+// ordered by first appearance — a textual Fig. 2(a).
+func (tl *Timeline) Render(bucket sim.Duration, end sim.Time, maxWidth int) string {
+	counts := tl.Counts(bucket, end)
+	var b strings.Builder
+	phases := tl.Phases()
+	width := 0
+	for _, p := range phases {
+		if counts[p].Len() > width {
+			width = counts[p].Len()
+		}
+	}
+	factor := 1
+	if maxWidth > 0 && width > maxWidth {
+		factor = (width + maxWidth - 1) / maxWidth
+	}
+	nameW := 0
+	for _, p := range phases {
+		if len(p) > nameW {
+			nameW = len(p)
+		}
+	}
+	for _, p := range phases {
+		s := counts[p].Downsample(factor)
+		fmt.Fprintf(&b, "%-*s |%s| peak=%d\n", nameW, p, s.Spark(), int(counts[p].Max()))
+	}
+	return b.String()
+}
+
+// SortSpans orders spans by (start, phase) for stable test assertions.
+func (tl *Timeline) SortSpans() {
+	sort.SliceStable(tl.spans, func(i, j int) bool {
+		if tl.spans[i].Start != tl.spans[j].Start {
+			return tl.spans[i].Start < tl.spans[j].Start
+		}
+		return tl.spans[i].Phase < tl.spans[j].Phase
+	})
+}

@@ -1,0 +1,144 @@
+package sim
+
+import "fmt"
+
+// Resource is a capacity-limited, FIFO-granting resource: CPU cores on a
+// node, the single request slot of a disk, a network link. Acquire blocks
+// until the requested units are available; Release hands freed units to
+// waiters in arrival order.
+//
+// The resource keeps two time integrals that metric samplers read:
+// busy (units-in-use x time) and queue (waiting-units x time). Utilization
+// of a window [a,b) is (busyIntegral(b)-busyIntegral(a)) / (cap x (b-a)).
+type Resource struct {
+	env  *Env
+	name string
+	cap  int
+
+	inUse   int
+	waiters []*resWaiter
+
+	lastChange    Time
+	busyIntegral  float64 // unit-seconds of use
+	queueIntegral float64 // unit-seconds of waiting
+
+	// OnChange, if set, is called after every state change with the units in
+	// use and the units waiting. Cluster nodes use it to maintain iowait
+	// accounting across a node's devices.
+	OnChange func(now Time, inUse, waiting int)
+}
+
+type resWaiter struct {
+	p       *Proc
+	n       int
+	granted bool
+}
+
+// NewResource returns a resource with the given capacity.
+func (e *Env) NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive, got %d", name, capacity))
+	}
+	return &Resource{env: e, name: name, cap: capacity}
+}
+
+// Cap returns the resource capacity in units.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting returns the total units requested by blocked acquirers.
+func (r *Resource) Waiting() int {
+	total := 0
+	for _, w := range r.waiters {
+		if !w.granted {
+			total += w.n
+		}
+	}
+	return total
+}
+
+// advance accrues the integrals up to now. It must be called before any
+// change to inUse or the waiter set.
+func (r *Resource) advance() {
+	now := r.env.now
+	dt := now.Sub(r.lastChange).Seconds()
+	if dt > 0 {
+		r.busyIntegral += float64(r.inUse) * dt
+		r.queueIntegral += float64(r.Waiting()) * dt
+	}
+	r.lastChange = now
+}
+
+func (r *Resource) changed() {
+	if r.OnChange != nil {
+		r.OnChange(r.env.now, r.inUse, r.Waiting())
+	}
+}
+
+// BusyIntegral returns unit-seconds of use accrued through the current time.
+func (r *Resource) BusyIntegral() float64 {
+	r.advance()
+	return r.busyIntegral
+}
+
+// QueueIntegral returns unit-seconds of waiting accrued through now.
+func (r *Resource) QueueIntegral() float64 {
+	r.advance()
+	return r.queueIntegral
+}
+
+// Acquire blocks p until n units are available and takes them.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	if n > r.cap {
+		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %q", n, r.cap, r.name))
+	}
+	r.advance()
+	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+		r.inUse += n
+		r.changed()
+		return
+	}
+	w := &resWaiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	r.changed()
+	p.block(fmt.Sprintf("resource %s (%d units)", r.name, n))
+	if !w.granted {
+		panic(fmt.Sprintf("sim: process %s woken without grant on %q", p.name, r.name))
+	}
+}
+
+// Release returns n units and grants queued waiters in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	r.advance()
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic(fmt.Sprintf("sim: over-release of %q", r.name))
+	}
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.cap {
+			break
+		}
+		r.inUse += w.n
+		w.granted = true
+		r.waiters = r.waiters[1:]
+		r.env.schedule(w.p, r.env.now)
+	}
+	r.changed()
+}
+
+// Use acquires n units, holds them for d, and releases them.
+func (r *Resource) Use(p *Proc, n int, d Duration) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.advance()
+	r.Release(n)
+}

@@ -1,0 +1,246 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engines in this repository do real data processing (real records,
+// real sorts, real hash tables) but run inside a simulated cluster whose
+// notion of time is virtual. sim supplies that virtual time: processes are
+// goroutine-backed coroutines that advance the clock only through explicit
+// operations (Sleep, resource acquisition), and exactly one process executes
+// at any instant, which makes every run fully deterministic and free of data
+// races by construction.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is an absolute instant in virtual nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Seconds returns d expressed in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+func (d Duration) String() string { return fmt.Sprintf("%.3fs", d.Seconds()) }
+
+// Seconds converts a floating-point number of seconds to a Duration.
+func Seconds(s float64) Duration {
+	if math.IsInf(s, 1) {
+		return Duration(math.MaxInt64)
+	}
+	return Duration(s * float64(Second))
+}
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at       Time
+	seq      uint64
+	p        *Proc
+	canceled *bool // optional cancellation flag shared with the scheduler
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus the set of processes
+// advancing it. The zero value is not usable; call New.
+type Env struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	live   map[*Proc]struct{}
+	inRun  bool
+	// failure carries a panic out of a process goroutine so Run can re-panic
+	// on the caller's goroutine, where tests can recover it.
+	failure interface{}
+	failed  bool
+}
+
+// New returns a fresh simulation environment at time zero.
+func New() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+func (e *Env) nextSeq() uint64 {
+	e.seq++
+	return e.seq
+}
+
+func (e *Env) schedule(p *Proc, at Time) {
+	if at < e.now {
+		at = e.now
+	}
+	heap.Push(&e.events, event{at: at, seq: e.nextSeq(), p: p})
+}
+
+// Proc is a simulation process. All blocking methods must be called from the
+// goroutine running the process body.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	// blockedOn describes what the process is waiting for; used in deadlock
+	// diagnostics.
+	blockedOn string
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns a process. It may be called before Run or from inside a running
+// process; the new process starts at the current virtual time, after the
+// caller next blocks.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.live[p] = struct{}{}
+	e.schedule(p, e.now)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.failure = r
+				e.failed = true
+			}
+			delete(e.live, p)
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// Run executes events until none remain. It panics if processes are still
+// blocked when the event queue drains (a deadlock) so that engine bugs
+// surface loudly in tests.
+func (e *Env) Run() {
+	if e.inRun {
+		panic("sim: Run called reentrantly")
+	}
+	e.inRun = true
+	defer func() { e.inRun = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.canceled != nil && *ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.p.resume <- struct{}{}
+		<-e.yield
+		if e.failed {
+			panic(e.failure)
+		}
+	}
+	if len(e.live) > 0 {
+		names := make([]string, 0, len(e.live))
+		for p := range e.live {
+			names = append(names, fmt.Sprintf("%s (waiting on %s)", p.name, p.blockedOn))
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("sim: deadlock at %v: %d blocked processes: %v", e.now, len(names), names))
+	}
+}
+
+// block suspends the process until some other agent schedules it again.
+func (p *Proc) block(what string) {
+	p.blockedOn = what
+	p.env.yield <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}
+
+// Sleep advances the process by d of virtual time. Negative durations are
+// treated as zero (the process still yields, so other same-instant events
+// run first).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p, p.env.now.Add(d))
+	p.block(fmt.Sprintf("sleep %v", d))
+}
+
+// Yield lets all other events scheduled at the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Trigger is a broadcast condition: processes Wait on it and are all
+// released by the next Broadcast. It has no memory — a Broadcast with no
+// waiters is a no-op — so callers must re-check their condition in a loop.
+type Trigger struct {
+	env     *Env
+	name    string
+	waiters []*Proc
+}
+
+// NewTrigger returns a trigger bound to e.
+func (e *Env) NewTrigger(name string) *Trigger {
+	return &Trigger{env: e, name: name}
+}
+
+// Wait blocks p until the next Broadcast.
+func (t *Trigger) Wait(p *Proc) {
+	t.waiters = append(t.waiters, p)
+	p.block("trigger " + t.name)
+}
+
+// Broadcast wakes every current waiter at the current instant.
+func (t *Trigger) Broadcast() {
+	for _, w := range t.waiters {
+		t.env.schedule(w, t.env.now)
+	}
+	t.waiters = t.waiters[:0]
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvancesThroughSleep(t *testing.T) {
+	e := New()
+	var at []Time
+	e.Go("a", func(p *Proc) {
+		p.Sleep(3 * Second)
+		at = append(at, p.Now())
+		p.Sleep(2 * Second)
+		at = append(at, p.Now())
+	})
+	e.Run()
+	want := []Time{Time(3 * Second), Time(5 * Second)}
+	if !reflect.DeepEqual(at, want) {
+		t.Fatalf("timestamps = %v, want %v", at, want)
+	}
+	if e.Now() != Time(5*Second) {
+		t.Fatalf("final time = %v, want 5s", e.Now())
+	}
+}
+
+func TestSameInstantEventsRunInSpawnOrder(t *testing.T) {
+	e := New()
+	var order []string
+	for _, name := range []string{"p1", "p2", "p3"} {
+		name := name
+		e.Go(name, func(p *Proc) {
+			order = append(order, name)
+			p.Sleep(Second)
+			order = append(order, name+"-end")
+		})
+	}
+	e.Run()
+	want := []string{"p1", "p2", "p3", "p1-end", "p2-end", "p3-end"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := New()
+	e.Go("a", func(p *Proc) {
+		p.Sleep(-5 * Second)
+		if p.Now() != 0 {
+			t.Errorf("time moved on negative sleep: %v", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	e := New()
+	var got []string
+	e.Go("parent", func(p *Proc) {
+		p.Sleep(Second)
+		p.Env().Go("child", func(c *Proc) {
+			got = append(got, fmt.Sprintf("child@%v", c.Now()))
+			c.Sleep(Second)
+			got = append(got, fmt.Sprintf("child-end@%v", c.Now()))
+		})
+		p.Sleep(Second)
+		got = append(got, fmt.Sprintf("parent@%v", p.Now()))
+	})
+	e.Run()
+	// At t=2s the parent's wake event was scheduled (at t=1s, when it slept)
+	// before the child's, so the parent runs first — FIFO on schedule order.
+	want := []string{"child@1.000s", "parent@2.000s", "child-end@2.000s"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestResourceSerializesContenders(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		e.Go(fmt.Sprintf("u%d", i), func(p *Proc) {
+			r.Use(p, 1, Second)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{Time(Second), Time(2 * Second), Time(3 * Second)}
+	if !reflect.DeepEqual(ends, want) {
+		t.Fatalf("ends = %v, want %v", ends, want)
+	}
+}
+
+func TestResourceFIFOGrantOrder(t *testing.T) {
+	e := New()
+	r := e.NewResource("r", 2)
+	var order []string
+	// First holder takes both units for 1s; then three waiters of 1 unit
+	// each must be granted in arrival order.
+	e.Go("holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(Second)
+		r.Release(2)
+	})
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Go(name, func(p *Proc) {
+			p.Yield() // let holder acquire first
+			r.Acquire(p, 1)
+			order = append(order, name)
+			p.Sleep(Second)
+			r.Release(1)
+		})
+	}
+	e.Run()
+	if !reflect.DeepEqual(order, []string{"w1", "w2", "w3"}) {
+		t.Fatalf("grant order = %v", order)
+	}
+}
+
+func TestResourceLargeRequestNotStarved(t *testing.T) {
+	// A 2-unit request at the head of the queue must block later 1-unit
+	// requests (strict FIFO), so it cannot be starved.
+	e := New()
+	r := e.NewResource("r", 2)
+	var got []string
+	e.Go("small0", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(Second)
+		r.Release(1)
+	})
+	e.Go("big", func(p *Proc) {
+		p.Yield()
+		r.Acquire(p, 2)
+		got = append(got, fmt.Sprintf("big@%v", p.Now()))
+		p.Sleep(Second)
+		r.Release(2)
+	})
+	e.Go("small1", func(p *Proc) {
+		p.Yield()
+		p.Yield()
+		r.Acquire(p, 1)
+		got = append(got, fmt.Sprintf("small1@%v", p.Now()))
+		r.Release(1)
+	})
+	e.Run()
+	want := []string{"big@1.000s", "small1@2.000s"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestResourceBusyIntegral(t *testing.T) {
+	e := New()
+	r := e.NewResource("cpu", 4)
+	e.Go("a", func(p *Proc) { r.Use(p, 2, 10*Second) })
+	e.Go("b", func(p *Proc) { r.Use(p, 1, 4*Second) })
+	e.Run()
+	// 2 units x 10s + 1 unit x 4s = 24 unit-seconds.
+	if got := r.BusyIntegral(); got != 24 {
+		t.Fatalf("busy integral = %v, want 24", got)
+	}
+}
+
+func TestResourceQueueIntegral(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 1)
+	e.Go("a", func(p *Proc) { r.Use(p, 1, 2*Second) })
+	e.Go("b", func(p *Proc) { r.Use(p, 1, 2*Second) }) // waits 2s
+	e.Run()
+	if got := r.QueueIntegral(); got != 2 {
+		t.Fatalf("queue integral = %v, want 2", got)
+	}
+}
+
+func TestResourceOnChangeHook(t *testing.T) {
+	e := New()
+	r := e.NewResource("disk", 1)
+	var events []string
+	r.OnChange = func(now Time, inUse, waiting int) {
+		events = append(events, fmt.Sprintf("%v:%d/%d", now, inUse, waiting))
+	}
+	e.Go("a", func(p *Proc) { r.Use(p, 1, Second) })
+	e.Go("b", func(p *Proc) { r.Use(p, 1, Second) })
+	e.Run()
+	joined := strings.Join(events, " ")
+	// b must be observed waiting at t=0 while a holds the unit.
+	if !strings.Contains(joined, "0.000s:1/1") {
+		t.Fatalf("missing waiting observation in %q", joined)
+	}
+}
+
+func TestTriggerBroadcastWakesAllWaiters(t *testing.T) {
+	e := New()
+	tr := e.NewTrigger("ready")
+	woke := 0
+	for i := 0; i < 5; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			tr.Wait(p)
+			woke++
+			if p.Now() != Time(3*Second) {
+				t.Errorf("waiter woke at %v, want 3s", p.Now())
+			}
+		})
+	}
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(3 * Second)
+		tr.Broadcast()
+	})
+	e.Run()
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+}
+
+func TestBroadcastWithNoWaitersIsNoop(t *testing.T) {
+	e := New()
+	tr := e.NewTrigger("t")
+	e.Go("s", func(p *Proc) { tr.Broadcast(); p.Sleep(Second) })
+	e.Run() // must not panic or deadlock
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "deadlock") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e := New()
+	tr := e.NewTrigger("never")
+	e.Go("stuck", func(p *Proc) { tr.Wait(p) })
+	e.Run()
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-release")
+		}
+	}()
+	e := New()
+	r := e.NewResource("r", 1)
+	e.Go("a", func(p *Proc) { r.Release(1) })
+	e.Run()
+}
+
+func TestAcquireBeyondCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e := New()
+	r := e.NewResource("r", 1)
+	e.Go("a", func(p *Proc) { r.Acquire(p, 2) })
+	e.Run()
+}
+
+func TestDurationConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+	if got := Time(90 * Second).Seconds(); got != 90 {
+		t.Fatalf("Time.Seconds() = %v", got)
+	}
+}
+
+// TestDeterminism runs a randomized workload twice with the same seed and
+// requires identical traces.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		r := e.NewResource("r", 3)
+		var trace []string
+		for i := 0; i < 20; i++ {
+			i := i
+			units := 1 + rng.Intn(3)
+			d := Duration(rng.Intn(1000)) * Millisecond
+			start := Duration(rng.Intn(2000)) * Millisecond
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(start)
+				r.Acquire(p, units)
+				p.Sleep(d)
+				r.Release(units)
+				trace = append(trace, fmt.Sprintf("p%d@%v", i, p.Now()))
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic traces:\n%v\n%v", a, b)
+	}
+}
+
+// Property: for any schedule of exclusive users of a unit resource, the
+// total busy integral equals the sum of hold durations, and completion time
+// is at least the max individual finish.
+func TestResourceBusyIntegralProperty(t *testing.T) {
+	f := func(holdsMs []uint16) bool {
+		if len(holdsMs) > 50 {
+			holdsMs = holdsMs[:50]
+		}
+		e := New()
+		r := e.NewResource("r", 1)
+		var totalHold Duration
+		for i, h := range holdsMs {
+			d := Duration(h%2000) * Millisecond
+			totalHold += d
+			e.Go(fmt.Sprintf("p%d", i), func(p *Proc) { r.Use(p, 1, d) })
+		}
+		e.Run()
+		got := r.BusyIntegral()
+		want := totalHold.Seconds()
+		return math.Abs(got-want) < 1e-9 && e.Now() == Time(totalHold)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSpaceSavingOffer(b *testing.B) {
+	s := NewSpaceSaving(4096)
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	keys := make([][]byte, 1<<12)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("u%d", zipf.Uint64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Offer(keys[i&(1<<12-1)], 1)
+	}
+}
+
+func BenchmarkSpaceSavingEstimate(b *testing.B) {
+	s := NewSpaceSaving(4096)
+	for i := 0; i < 1<<14; i++ {
+		s.Offer([]byte(fmt.Sprintf("u%d", i%8192)), 1)
+	}
+	key := []byte("u42")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Estimate(key)
+	}
+}

@@ -1,0 +1,163 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	s := NewSpaceSaving(10)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			s.Offer([]byte(fmt.Sprintf("k%d", i)), 1)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		c, e, ok := s.Estimate([]byte(fmt.Sprintf("k%d", i)))
+		if !ok || c != uint64(i+1) || e != 0 {
+			t.Fatalf("k%d: c=%d e=%d ok=%v", i, c, e, ok)
+		}
+	}
+	if s.Tracked() != 5 || s.N() != 15 {
+		t.Fatalf("tracked=%d n=%d", s.Tracked(), s.N())
+	}
+}
+
+func TestEvictionTracksNewcomer(t *testing.T) {
+	s := NewSpaceSaving(2)
+	s.Offer([]byte("a"), 5)
+	s.Offer([]byte("b"), 3)
+	s.Offer([]byte("c"), 1) // evicts b (min), inherits err=3
+	c, e, ok := s.Estimate([]byte("c"))
+	if !ok || c != 4 || e != 3 {
+		t.Fatalf("c: count=%d err=%d ok=%v", c, e, ok)
+	}
+	if _, _, ok := s.Estimate([]byte("b")); ok {
+		t.Fatal("b should be evicted")
+	}
+	if s.GuaranteedCount([]byte("c")) != 1 {
+		t.Fatalf("guaranteed = %d", s.GuaranteedCount([]byte("c")))
+	}
+	if s.GuaranteedCount([]byte("b")) != 0 {
+		t.Fatal("untracked guaranteed count must be 0")
+	}
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	s := NewSpaceSaving(2)
+	s.Offer([]byte("a"), 0)
+	if s.N() != 0 || s.Tracked() != 0 {
+		t.Fatal("zero weight must be a no-op")
+	}
+}
+
+func TestTopOrderingAndLimit(t *testing.T) {
+	s := NewSpaceSaving(10)
+	s.Offer([]byte("low"), 1)
+	s.Offer([]byte("high"), 10)
+	s.Offer([]byte("mid"), 5)
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Key != "high" || top[1].Key != "mid" {
+		t.Fatalf("top = %v", top)
+	}
+	all := s.Top(0)
+	if len(all) != 3 {
+		t.Fatalf("top(0) = %v", all)
+	}
+}
+
+func TestTopDeterministicTieBreak(t *testing.T) {
+	s := NewSpaceSaving(5)
+	s.Offer([]byte("zz"), 2)
+	s.Offer([]byte("aa"), 2)
+	top := s.Top(0)
+	if top[0].Key != "aa" || top[1].Key != "zz" {
+		t.Fatalf("tie break = %v", top)
+	}
+}
+
+func TestHeavyHitterAlwaysTracked(t *testing.T) {
+	// A key with frequency > N/k must be tracked regardless of stream order.
+	rng := rand.New(rand.NewSource(42))
+	s := NewSpaceSaving(20)
+	const total = 20000
+	hot := 0
+	for i := 0; i < total; i++ {
+		if rng.Float64() < 0.10 { // hot key: ~10% > 1/20 = 5%
+			s.Offer([]byte("HOT"), 1)
+			hot++
+		} else {
+			s.Offer([]byte(fmt.Sprintf("cold-%d", rng.Intn(5000))), 1)
+		}
+	}
+	c, e, ok := s.Estimate([]byte("HOT"))
+	if !ok {
+		t.Fatal("heavy hitter lost")
+	}
+	if c < uint64(hot) {
+		t.Fatalf("estimate %d below true count %d", c, hot)
+	}
+	if c-e > uint64(hot) {
+		t.Fatalf("lower bound %d above true count %d", c-e, hot)
+	}
+	if !s.IsHot([]byte("HOT")) {
+		t.Fatal("IsHot must fire for a dominant key")
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	s := NewSpaceSaving(2)
+	if s.MinCount() != 0 {
+		t.Fatal("undersubscribed sketch has threshold 0")
+	}
+	s.Offer([]byte("a"), 5)
+	s.Offer([]byte("b"), 3)
+	if s.MinCount() != 3 {
+		t.Fatalf("min = %d", s.MinCount())
+	}
+}
+
+func TestInvalidKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSpaceSaving(0)
+}
+
+// Property (the SpaceSaving guarantees): for any stream, (1) every tracked
+// estimate bounds its true count from above, (2) estimate - err bounds it
+// from below, and (3) any key with true count > N/k is tracked.
+func TestSpaceSavingGuaranteesProperty(t *testing.T) {
+	f := func(stream []uint8, k uint8) bool {
+		kk := int(k%16) + 2
+		s := NewSpaceSaving(kk)
+		truth := map[string]uint64{}
+		for _, b := range stream {
+			key := fmt.Sprintf("k%d", b%32)
+			s.Offer([]byte(key), 1)
+			truth[key]++
+		}
+		n := uint64(len(stream))
+		for key, trueCount := range truth {
+			est, errB, tracked := s.Estimate([]byte(key))
+			if tracked {
+				if est < trueCount {
+					return false // estimate must not undercount
+				}
+				if est-errB > trueCount {
+					return false // lower bound must hold
+				}
+			} else if trueCount > n/uint64(kk) {
+				return false // heavy hitters must be tracked
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

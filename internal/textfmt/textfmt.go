@@ -1,0 +1,129 @@
+// Package textfmt defines the input record formats of the two benchmark
+// applications: click-log records (timestamp, user, url) and web-document
+// records (doc id, words). Each has a line-oriented text encoding (parsed
+// field-by-field, the expensive path) and a compact binary encoding (the
+// "SequenceFile" path), which together reproduce the paper's §III.B.1
+// parsing-cost experiment.
+package textfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+)
+
+// Click is one click-stream record.
+type Click struct {
+	Time uint32
+	User uint32
+	URL  []byte
+}
+
+// AppendClickText appends the text encoding: "<time> u<user> <url>\n".
+func AppendClickText(dst []byte, c Click) []byte {
+	dst = strconv.AppendUint(dst, uint64(c.Time), 10)
+	dst = append(dst, ' ', 'u')
+	dst = strconv.AppendUint(dst, uint64(c.User), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, c.URL...)
+	return append(dst, '\n')
+}
+
+// ParseClickText parses one text line (without requiring the trailing
+// newline). The returned URL aliases line.
+func ParseClickText(line []byte) (Click, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	sp1 := bytes.IndexByte(line, ' ')
+	if sp1 < 0 {
+		return Click{}, fmt.Errorf("textfmt: malformed click %q", line)
+	}
+	sp2 := bytes.IndexByte(line[sp1+1:], ' ')
+	if sp2 < 0 {
+		return Click{}, fmt.Errorf("textfmt: malformed click %q", line)
+	}
+	sp2 += sp1 + 1
+	ts, err := strconv.ParseUint(string(line[:sp1]), 10, 32)
+	if err != nil {
+		return Click{}, fmt.Errorf("textfmt: bad timestamp in %q: %v", line, err)
+	}
+	userField := line[sp1+1 : sp2]
+	if len(userField) < 2 || userField[0] != 'u' {
+		return Click{}, fmt.Errorf("textfmt: bad user in %q", line)
+	}
+	user, err := strconv.ParseUint(string(userField[1:]), 10, 32)
+	if err != nil {
+		return Click{}, fmt.Errorf("textfmt: bad user in %q: %v", line, err)
+	}
+	return Click{Time: uint32(ts), User: uint32(user), URL: line[sp2+1:]}, nil
+}
+
+// AppendClickBinary appends the binary encoding:
+// u32 time, u32 user, u16 urlLen, url.
+func AppendClickBinary(dst []byte, c Click) []byte {
+	var hdr [10]byte
+	binary.LittleEndian.PutUint32(hdr[0:], c.Time)
+	binary.LittleEndian.PutUint32(hdr[4:], c.User)
+	binary.LittleEndian.PutUint16(hdr[8:], uint16(len(c.URL)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, c.URL...)
+}
+
+// ParseClickBinary decodes one binary click from the front of buf,
+// returning the bytes consumed (0 if buf is too short).
+func ParseClickBinary(buf []byte) (Click, int) {
+	if len(buf) < 10 {
+		return Click{}, 0
+	}
+	urlLen := int(binary.LittleEndian.Uint16(buf[8:]))
+	if len(buf) < 10+urlLen {
+		return Click{}, 0
+	}
+	return Click{
+		Time: binary.LittleEndian.Uint32(buf[0:]),
+		User: binary.LittleEndian.Uint32(buf[4:]),
+		URL:  buf[10 : 10+urlLen],
+	}, 10 + urlLen
+}
+
+// NextLine splits buf at the first newline, returning the line (without the
+// newline) and the rest. ok=false when buf holds no complete line; callers
+// treat a non-empty remainder without '\n' as a final unterminated line.
+func NextLine(buf []byte) (line, rest []byte, ok bool) {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return nil, buf, false
+	}
+	return buf[:i], buf[i+1:], true
+}
+
+// Doc is one web-document record: an id and its word tokens.
+type Doc struct {
+	ID    uint32
+	Words [][]byte
+}
+
+// AppendDocText appends "d<id> w w w ...\n".
+func AppendDocText(dst []byte, d Doc) []byte {
+	dst = append(dst, 'd')
+	dst = strconv.AppendUint(dst, uint64(d.ID), 10)
+	for _, w := range d.Words {
+		dst = append(dst, ' ')
+		dst = append(dst, w...)
+	}
+	return append(dst, '\n')
+}
+
+// ParseDocText parses one document line. Word slices alias line.
+func ParseDocText(line []byte) (Doc, error) {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	if len(line) == 0 || line[0] != 'd' {
+		return Doc{}, fmt.Errorf("textfmt: malformed doc %q", line)
+	}
+	fields := bytes.Split(line, []byte(" "))
+	id, err := strconv.ParseUint(string(fields[0][1:]), 10, 32)
+	if err != nil {
+		return Doc{}, fmt.Errorf("textfmt: bad doc id in %q: %v", line, err)
+	}
+	return Doc{ID: uint32(id), Words: fields[1:]}, nil
+}

@@ -1,0 +1,126 @@
+package textfmt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestClickTextRoundTrip(t *testing.T) {
+	c := Click{Time: 869769600, User: 12345, URL: []byte("/en/page/678")}
+	line := AppendClickText(nil, c)
+	if line[len(line)-1] != '\n' {
+		t.Fatal("missing newline")
+	}
+	got, err := ParseClickText(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time != c.Time || got.User != c.User || !bytes.Equal(got.URL, c.URL) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestClickTextParseWithoutNewline(t *testing.T) {
+	got, err := ParseClickText([]byte("100 u7 /x"))
+	if err != nil || got.User != 7 || string(got.URL) != "/x" {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestClickTextMalformed(t *testing.T) {
+	for _, in := range []string{"", "100", "100 u7", "abc u7 /x", "100 x7 /x", "100 u /x", "100 uZZ /x"} {
+		if _, err := ParseClickText([]byte(in)); err == nil {
+			t.Errorf("ParseClickText(%q) should fail", in)
+		}
+	}
+}
+
+func TestClickBinaryRoundTrip(t *testing.T) {
+	c := Click{Time: 4294967295, User: 0, URL: []byte("/path")}
+	buf := AppendClickBinary(nil, c)
+	got, n := ParseClickBinary(buf)
+	if n != len(buf) {
+		t.Fatalf("n = %d, want %d", n, len(buf))
+	}
+	if got.Time != c.Time || got.User != c.User || !bytes.Equal(got.URL, c.URL) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestClickBinaryShortBuffer(t *testing.T) {
+	buf := AppendClickBinary(nil, Click{URL: []byte("/long/url/here")})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, n := ParseClickBinary(buf[:cut]); n != 0 {
+			t.Fatalf("short buffer %d parsed n=%d", cut, n)
+		}
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	line, rest, ok := NextLine([]byte("one\ntwo\n"))
+	if !ok || string(line) != "one" || string(rest) != "two\n" {
+		t.Fatalf("line=%q rest=%q ok=%v", line, rest, ok)
+	}
+	_, rest, ok = NextLine([]byte("partial"))
+	if ok || string(rest) != "partial" {
+		t.Fatal("unterminated line must report !ok")
+	}
+	line, rest, ok = NextLine([]byte("\n"))
+	if !ok || len(line) != 0 || len(rest) != 0 {
+		t.Fatal("empty line parse failed")
+	}
+}
+
+func TestDocTextRoundTrip(t *testing.T) {
+	d := Doc{ID: 42, Words: [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}}
+	line := AppendDocText(nil, d)
+	got, err := ParseDocText(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || len(got.Words) != 3 || string(got.Words[2]) != "gamma" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestDocTextNoWords(t *testing.T) {
+	got, err := ParseDocText(AppendDocText(nil, Doc{ID: 7}))
+	if err != nil || got.ID != 7 || len(got.Words) != 0 {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+}
+
+func TestDocTextMalformed(t *testing.T) {
+	for _, in := range []string{"", "x42 w", "dxx w"} {
+		if _, err := ParseDocText([]byte(in)); err == nil {
+			t.Errorf("ParseDocText(%q) should fail", in)
+		}
+	}
+}
+
+// Property: text and binary click encodings round-trip arbitrary records
+// (URL constrained to non-space, non-newline bytes as the generator emits).
+func TestClickRoundTripProperty(t *testing.T) {
+	sanitize := func(url []byte) []byte {
+		out := make([]byte, 0, len(url))
+		for _, b := range url {
+			if b != ' ' && b != '\n' && b >= 33 && b < 127 {
+				out = append(out, b)
+			}
+		}
+		return out
+	}
+	f := func(ts, user uint32, rawURL []byte) bool {
+		c := Click{Time: ts, User: user, URL: sanitize(rawURL)}
+		gotT, err := ParseClickText(AppendClickText(nil, c))
+		if err != nil || gotT.Time != c.Time || gotT.User != c.User || !bytes.Equal(gotT.URL, c.URL) {
+			return false
+		}
+		gotB, n := ParseClickBinary(AppendClickBinary(nil, c))
+		return n > 0 && gotB.Time == c.Time && gotB.User == c.User && bytes.Equal(gotB.URL, c.URL)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

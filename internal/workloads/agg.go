@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"encoding/binary"
+
+	"onepass/internal/engine"
+)
+
+// CountAgg is the incremental aggregator for the counting workloads: an
+// 8-byte running sum. Its Final output matches sumReduce exactly, so hash
+// engines and sort-merge engines produce identical results.
+type CountAgg struct{}
+
+// Init parses the first ASCII value into a binary counter state.
+func (CountAgg) Init(val []byte) []byte {
+	var st [8]byte
+	binary.LittleEndian.PutUint64(st[:], parseUint(val))
+	return st[:]
+}
+
+// Update folds one more ASCII value.
+func (CountAgg) Update(state, val []byte) []byte {
+	binary.LittleEndian.PutUint64(state, binary.LittleEndian.Uint64(state)+parseUint(val))
+	return state
+}
+
+// Merge adds two partial counts.
+func (CountAgg) Merge(a, b []byte) []byte {
+	binary.LittleEndian.PutUint64(a, binary.LittleEndian.Uint64(a)+binary.LittleEndian.Uint64(b))
+	return a
+}
+
+// Final emits the ASCII total.
+func (CountAgg) Final(key, state []byte, emit engine.Emit) {
+	emit(key, appendUint(nil, binary.LittleEndian.Uint64(state)))
+}
+
+// CountState reads a CountAgg state value (exported for threshold
+// predicates like Job.EmitWhen).
+func CountState(state []byte) uint64 { return binary.LittleEndian.Uint64(state) }
+
+// PostingsAgg is the incremental aggregator for inverted indexing: the
+// state is the concatenation of fixed-width postings, sorted canonically at
+// Final, matching reducePostings exactly.
+type PostingsAgg struct{}
+
+// Init starts the state from the first posting batch.
+func (PostingsAgg) Init(val []byte) []byte {
+	return append([]byte(nil), val...)
+}
+
+// Update appends more postings.
+func (PostingsAgg) Update(state, val []byte) []byte {
+	return append(state, val...)
+}
+
+// Merge concatenates two partial posting lists.
+func (PostingsAgg) Merge(a, b []byte) []byte {
+	return append(a, b...)
+}
+
+// Final emits the canonical sorted list.
+func (PostingsAgg) Final(key, state []byte, emit engine.Emit) {
+	emit(key, sortPostings(state))
+}

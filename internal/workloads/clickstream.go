@@ -1,0 +1,141 @@
+package workloads
+
+import (
+	"bytes"
+	"sort"
+
+	"onepass/internal/engine"
+	"onepass/internal/gen"
+	"onepass/internal/textfmt"
+)
+
+// SessionGap is the idle threshold that closes a session: 30 minutes.
+const SessionGap = 30 * 60
+
+// Sessionization reorders click logs into per-user sessions — the paper's
+// headline workload: large intermediate data (map output ≈ input size, all
+// of it reorganized by user), no combiner.
+func Sessionization(cfg gen.ClickConfig) *Workload {
+	w := &Workload{Name: "sessionization", Gen: cfg.Block}
+	w.Job = engine.Job{
+		Name:        w.Name,
+		Reader:      clickReader(cfg),
+		BinaryInput: cfg.Binary,
+		Map: func(rec []byte, emit engine.Emit) {
+			c, ok := parseClick(rec, cfg.Binary)
+			if !ok {
+				return
+			}
+			// key = user, value = "ts url" — everything needed to rebuild
+			// the ordered session stream.
+			key := appendUser(nil, c.User)
+			val := appendUint(nil, uint64(c.Time))
+			val = append(val, ' ')
+			val = append(val, c.URL...)
+			emit(key, val)
+		},
+		Reduce: sessionizeReduce,
+		Costs:  engine.CostModel{MapNsPerRecord: 240},
+	}
+	return w
+}
+
+// sessionizeReduce sorts one user's clicks by time and splits them into
+// sessions at SessionGap boundaries, emitting the reordered log:
+// "ts@url,ts@url|ts@url" with '|' separating sessions.
+func sessionizeReduce(key []byte, vals [][]byte, emit engine.Emit) {
+	type click struct {
+		ts  uint64
+		url []byte
+	}
+	clicks := make([]click, 0, len(vals))
+	for _, v := range vals {
+		sp := bytes.IndexByte(v, ' ')
+		if sp < 0 {
+			continue
+		}
+		clicks = append(clicks, click{ts: parseUint(v[:sp]), url: v[sp+1:]})
+	}
+	sort.Slice(clicks, func(i, j int) bool {
+		if clicks[i].ts != clicks[j].ts {
+			return clicks[i].ts < clicks[j].ts
+		}
+		return bytes.Compare(clicks[i].url, clicks[j].url) < 0
+	})
+	var out []byte
+	for i, c := range clicks {
+		if i > 0 {
+			if c.ts-clicks[i-1].ts > SessionGap {
+				out = append(out, '|')
+			} else {
+				out = append(out, ',')
+			}
+		}
+		out = appendUint(out, c.ts)
+		out = append(out, '@')
+		out = append(out, c.url...)
+	}
+	emit(key, out)
+}
+
+// PageFrequency counts visits per URL (SELECT COUNT(*) GROUP BY url) — the
+// canonical combiner-friendly workload with tiny intermediate data.
+func PageFrequency(cfg gen.ClickConfig) *Workload {
+	return countingWorkload("page-frequency", cfg, func(c textfmt.Click) []byte {
+		return append([]byte(nil), c.URL...)
+	}, 60)
+}
+
+// PerUserCount counts clicks per user — Table II's second column: a map
+// function so light that sorting takes nearly half the map-phase CPU.
+func PerUserCount(cfg gen.ClickConfig) *Workload {
+	return countingWorkload("per-user-count", cfg, func(c textfmt.Click) []byte {
+		return appendUser(nil, c.User)
+	}, 60)
+}
+
+func countingWorkload(name string, cfg gen.ClickConfig, key func(textfmt.Click) []byte, mapNs float64) *Workload {
+	w := &Workload{Name: name, Gen: cfg.Block}
+	w.Job = engine.Job{
+		Name:        name,
+		Reader:      clickReader(cfg),
+		BinaryInput: cfg.Binary,
+		Map: func(rec []byte, emit engine.Emit) {
+			c, ok := parseClick(rec, cfg.Binary)
+			if !ok {
+				return
+			}
+			emit(key(c), []byte{'1'})
+		},
+		Combine: sumReduce,
+		Reduce:  sumReduce,
+		Agg:     CountAgg{},
+		Costs:   engine.CostModel{MapNsPerRecord: mapNs},
+	}
+	return w
+}
+
+func sumReduce(key []byte, vals [][]byte, emit engine.Emit) {
+	emit(key, appendUint(nil, sumValues(vals)))
+}
+
+func clickReader(cfg gen.ClickConfig) engine.RecordReader {
+	if cfg.Binary {
+		return BinaryClickReader
+	}
+	return LineReader
+}
+
+func parseClick(rec []byte, binary bool) (textfmt.Click, bool) {
+	if binary {
+		c, n := textfmt.ParseClickBinary(rec)
+		return c, n > 0
+	}
+	c, err := textfmt.ParseClickText(rec)
+	return c, err == nil
+}
+
+func appendUser(dst []byte, user uint32) []byte {
+	dst = append(dst, 'u')
+	return appendUint(dst, uint64(user))
+}

@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"onepass/internal/engine"
+	"onepass/internal/gen"
+	"onepass/internal/kv"
+)
+
+// PageRank is the graph query from the paper's ongoing-work benchmark
+// extensions ("complex queries such as top-k and graph queries"),
+// implemented as iterated MapReduce jobs over chained DFS state: every
+// iteration reads the previous iteration's (vertex, rank|adjacency) pairs,
+// scatters rank contributions along edges, and gathers them with the
+// teleport term. Ranks use fixed-point parts-per-billion arithmetic so the
+// result is bit-identical across engines and value orderings (uint64
+// addition commutes; floating point would not).
+
+// RankScale is the fixed-point unit: 1.0 == 1e9.
+const RankScale = 1_000_000_000
+
+// Damping is the standard PageRank damping factor, in percent.
+const Damping = 85
+
+// Vertex state message tags.
+const (
+	tagAdjacency = 'A' // payload: space-separated neighbour names
+	tagContrib   = 'C' // payload: 8-byte fixed-point contribution
+)
+
+func encodeRankState(rank uint64, adj []byte) []byte {
+	out := make([]byte, 8, 8+len(adj))
+	binary.LittleEndian.PutUint64(out, rank)
+	return append(out, adj...)
+}
+
+// DecodeRank splits a PageRank output value into the fixed-point rank and
+// the adjacency list text.
+func DecodeRank(val []byte) (rank uint64, adj []byte) {
+	if len(val) < 8 {
+		return 0, nil
+	}
+	return binary.LittleEndian.Uint64(val[:8]), val[8:]
+}
+
+// scatter emits one vertex's adjacency preservation message plus its rank
+// contributions to each neighbour.
+func scatter(vertex []byte, rank uint64, adj []byte, emit engine.Emit) {
+	emit(vertex, append([]byte{tagAdjacency}, adj...))
+	if len(adj) == 0 {
+		// Dangling vertex: its mass leaks, the standard simplification.
+		return
+	}
+	targets := bytes.Split(adj, []byte(" "))
+	contrib := rank * Damping / 100 / uint64(len(targets))
+	var msg [9]byte
+	msg[0] = tagContrib
+	binary.LittleEndian.PutUint64(msg[1:], contrib)
+	for _, t := range targets {
+		if len(t) > 0 {
+			emit(t, msg[:])
+		}
+	}
+}
+
+// gather folds one vertex's messages into its next state.
+func gather(nodes int, key []byte, vals [][]byte, emit engine.Emit) {
+	var adj []byte
+	var sum uint64
+	for _, v := range vals {
+		if len(v) == 0 {
+			continue
+		}
+		switch v[0] {
+		case tagAdjacency:
+			adj = v[1:]
+		case tagContrib:
+			sum += binary.LittleEndian.Uint64(v[1:])
+		}
+	}
+	rank := uint64(RankScale)*(100-Damping)/100/uint64(nodes) + sum
+	emit(key, encodeRankState(rank, adj))
+}
+
+// prAgg is the incremental aggregator: state = 1 flag byte ("adjacency
+// seen"), 8-byte contribution sum, adjacency text. Merge adds sums and
+// keeps whichever adjacency arrived — exact under any arrival order.
+type prAgg struct{ nodes int }
+
+func prState(seenAdj bool, sum uint64, adj []byte) []byte {
+	out := make([]byte, 9, 9+len(adj))
+	if seenAdj {
+		out[0] = 1
+	}
+	binary.LittleEndian.PutUint64(out[1:], sum)
+	return append(out, adj...)
+}
+
+func prDecode(state []byte) (seenAdj bool, sum uint64, adj []byte) {
+	return state[0] == 1, binary.LittleEndian.Uint64(state[1:9]), state[9:]
+}
+
+func (a prAgg) Init(val []byte) []byte {
+	return a.Update(prState(false, 0, nil), val)
+}
+
+func (a prAgg) Update(state, val []byte) []byte {
+	seen, sum, adj := prDecode(state)
+	if len(val) > 0 {
+		switch val[0] {
+		case tagAdjacency:
+			return prState(true, sum, val[1:])
+		case tagContrib:
+			return prState(seen, sum+binary.LittleEndian.Uint64(val[1:]), adj)
+		}
+	}
+	return state
+}
+
+func (a prAgg) Merge(x, y []byte) []byte {
+	sx, nx, ax := prDecode(x)
+	sy, ny, ay := prDecode(y)
+	adj := ax
+	seen := sx
+	if sy {
+		adj = ay
+		seen = true
+	}
+	return prState(seen, nx+ny, adj)
+}
+
+func (a prAgg) Final(key, state []byte, emit engine.Emit) {
+	_, sum, adj := prDecode(state)
+	rank := uint64(RankScale)*(100-Damping)/100/uint64(a.nodes) + sum
+	emit(key, encodeRankState(rank, adj))
+}
+
+// PageRankInit builds iteration zero: it reads the adjacency text the graph
+// generator produced and assigns every vertex rank 1/N.
+func PageRankInit(cfg gen.GraphConfig) *Workload {
+	w := &Workload{Name: "pagerank-init", Gen: cfg.Block}
+	w.Job = engine.Job{
+		Name:   w.Name,
+		Reader: LineReader,
+		Map: func(rec []byte, emit engine.Emit) {
+			sp := bytes.IndexByte(rec, ' ')
+			if sp < 0 {
+				emit(rec, []byte{tagAdjacency})
+				return
+			}
+			emit(rec[:sp], append([]byte{tagAdjacency}, rec[sp+1:]...))
+		},
+		Reduce: func(key []byte, vals [][]byte, emit engine.Emit) {
+			var adj []byte
+			for _, v := range vals {
+				if len(v) > 0 && v[0] == tagAdjacency {
+					adj = v[1:]
+				}
+			}
+			emit(key, encodeRankState(RankScale/uint64(cfg.Nodes), adj))
+		},
+		Costs: engine.CostModel{MapNsPerRecord: 400},
+	}
+	return w
+}
+
+// PageRankIter builds one power iteration over the previous iteration's
+// output (set Job.InputPath to it before running). nodes is the graph's
+// vertex count, needed for the teleport term.
+func PageRankIter(nodes int) engine.Job {
+	gatherN := func(key []byte, vals [][]byte, emit engine.Emit) { gather(nodes, key, vals, emit) }
+	return engine.Job{
+		Name:   "pagerank-iter",
+		Reader: PairReader,
+		Map: func(rec []byte, emit engine.Emit) {
+			vertex, state, n := decodePairRecord(rec)
+			if n == 0 {
+				return
+			}
+			rank, adj := DecodeRank(state)
+			scatter(vertex, rank, adj, emit)
+		},
+		Reduce: gatherN,
+		Agg:    prAgg{nodes: nodes},
+		Costs:  engine.CostModel{MapNsPerRecord: 600, ReduceNsPerRecord: 80},
+	}
+}
+
+// decodePairRecord unwraps one PairReader record.
+func decodePairRecord(rec []byte) (key, val []byte, n int) {
+	return kv.DecodePair(rec)
+}

@@ -1,0 +1,79 @@
+package workloads
+
+import (
+	"bytes"
+
+	"onepass/internal/engine"
+	"onepass/internal/gen"
+	"onepass/internal/kv"
+)
+
+// The paper's benchmark roadmap ("we are extending our benchmark to Twitter
+// feed analysis") lands here as trending-topic detection: bucket a
+// timestamped event stream into event-time windows, count topics per
+// window, then select each window's top-k. The click stream stands in for
+// the tweet stream (url ≈ hashtag) — what matters is the shape: composite
+// windowed keys, streaming arrival, and a per-group top-k second stage.
+
+// WindowedTopicCounts is stage one: COUNT(*) GROUP BY (window, topic) with
+// tumbling event-time windows of windowSecs. Keys are "w<window>|<topic>",
+// so stage two can split group from member.
+func WindowedTopicCounts(cfg gen.ClickConfig, windowSecs uint32) *Workload {
+	w := &Workload{Name: "trending-counts", Gen: cfg.Block}
+	w.Job = engine.Job{
+		Name:        w.Name,
+		Reader:      clickReader(cfg),
+		BinaryInput: cfg.Binary,
+		Map: func(rec []byte, emit engine.Emit) {
+			c, ok := parseClick(rec, cfg.Binary)
+			if !ok {
+				return
+			}
+			key := append([]byte{'w'}, appendUint(nil, uint64(c.Time/windowSecs))...)
+			key = append(key, '|')
+			key = append(key, c.URL...)
+			emit(key, []byte{'1'})
+		},
+		Combine: sumReduce,
+		Reduce:  sumReduce,
+		Agg:     CountAgg{},
+		Costs:   engine.CostModel{MapNsPerRecord: 80},
+	}
+	return w
+}
+
+// TopKPerWindow is stage two: read stage one's (window|topic, count) pairs
+// and keep each window's k most frequent topics, using the same mergeable
+// partial-top-k state as global TopK — grouped by window instead of one
+// global key.
+func TopKPerWindow(k int) engine.Job {
+	agg := topKAgg{k: k}
+	reduceTop := func(key []byte, vals [][]byte, emit engine.Emit) {
+		lists := make([][]topEntry, 0, len(vals))
+		for _, v := range vals {
+			lists = append(lists, decodeTop(v))
+		}
+		emit(key, encodeTop(mergeTop(k, lists...)))
+	}
+	return engine.Job{
+		Name:   "trending-topk",
+		Reader: PairReader,
+		Map: func(rec []byte, emit engine.Emit) {
+			key, count, n := kv.DecodePair(rec)
+			if n == 0 {
+				return
+			}
+			sep := bytes.IndexByte(key, '|')
+			if sep < 0 {
+				return
+			}
+			window, topic := key[:sep], key[sep+1:]
+			emit(window, encodeTop([]topEntry{{count: parseUint(count), name: topic}}))
+		},
+		Combine:  reduceTop,
+		Reduce:   reduceTop,
+		Agg:      agg,
+		Reducers: 4,
+		Costs:    engine.CostModel{MapNsPerRecord: 150},
+	}
+}

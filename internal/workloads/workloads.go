@@ -1,0 +1,121 @@
+// Package workloads implements the paper's four benchmark tasks (Table I):
+// sessionization, page-frequency counting, and per-user click counting over
+// the click stream, and inverted-index construction over web documents.
+// Each workload supplies the map/combine/reduce functions, an incremental
+// aggregator where the analytic function supports one, per-workload cost
+// hints, and a single-threaded reference evaluation used by the
+// cross-engine equivalence tests.
+package workloads
+
+import (
+	"onepass/internal/engine"
+	"onepass/internal/textfmt"
+)
+
+// Workload couples a job template with its input generator.
+type Workload struct {
+	Name string
+	// Gen produces the content of input block i (deterministic).
+	Gen func(block int, size int64) []byte
+	// Job is the job template; the runner fills in paths, reducer count,
+	// and memory settings.
+	Job engine.Job
+}
+
+// LineReader yields each newline-terminated record (without the newline).
+func LineReader(block []byte, yield func(rec []byte)) {
+	rest := block
+	for {
+		line, r, ok := textfmt.NextLine(rest)
+		if !ok {
+			return
+		}
+		rest = r
+		if len(line) > 0 {
+			yield(line)
+		}
+	}
+}
+
+// BinaryClickReader yields each framed binary click record.
+func BinaryClickReader(block []byte, yield func(rec []byte)) {
+	off := 0
+	for off < len(block) {
+		_, n := textfmt.ParseClickBinary(block[off:])
+		if n == 0 {
+			return
+		}
+		yield(block[off : off+n])
+		off += n
+	}
+}
+
+// Reference evaluates the workload's semantics directly — map every record,
+// group by key, reduce each group — with no partitioning, sorting, spilling,
+// or merging in the way. Engines must reproduce exactly this output.
+func Reference(w *Workload, blocks [][]byte) map[string]string {
+	groups := make(map[string][][]byte)
+	var order []string
+	emit := func(key, val []byte) {
+		k := string(key)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], append([]byte(nil), val...))
+	}
+	for _, b := range blocks {
+		w.Job.Reader(b, func(rec []byte) { w.Job.Map(rec, emit) })
+	}
+	out := make(map[string]string, len(groups))
+	for _, k := range order {
+		w.Job.Reduce([]byte(k), groups[k], func(key, val []byte) {
+			out[string(key)] = string(val)
+		})
+	}
+	return out
+}
+
+// sumValues folds ASCII decimal values — the shared body of the counting
+// combiners and reducers.
+func sumValues(vals [][]byte) uint64 {
+	var total uint64
+	for _, v := range vals {
+		total += parseUint(v)
+	}
+	return total
+}
+
+func parseUint(b []byte) uint64 {
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n
+}
+
+func appendUint(dst []byte, n uint64) []byte {
+	if n == 0 {
+		return append(dst, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// splitFixed flattens multi-record values (combiner outputs) into single
+// fixed-width units, for postings handling.
+func splitFixed(vals [][]byte, width int, f func(unit []byte)) {
+	for _, v := range vals {
+		for off := 0; off+width <= len(v); off += width {
+			f(v[off : off+width])
+		}
+	}
+}

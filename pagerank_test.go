@@ -1,0 +1,150 @@
+package onepass
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyGraph() GraphConfig {
+	cfg := DefaultGraphConfig()
+	cfg.Nodes = 400
+	cfg.AvgDegree = 6
+	return cfg
+}
+
+// referencePageRank runs the same fixed-point power iteration directly over
+// the generated adjacency lists.
+func referencePageRank(t *testing.T, cfg GraphConfig, blockSize int64, iters int) map[string]uint64 {
+	t.Helper()
+	adj := map[string][]string{}
+	total := cfg.TotalBytes(blockSize)
+	for b := 0; int64(b)*blockSize < total; b++ {
+		for _, line := range strings.Split(string(cfg.Block(b, blockSize)), "\n") {
+			if line == "" {
+				continue
+			}
+			parts := strings.Split(line, " ")
+			adj[parts[0]] = parts[1:]
+		}
+	}
+	ranks := map[string]uint64{}
+	for v := range adj {
+		ranks[v] = RankScale / uint64(cfg.Nodes)
+	}
+	for i := 0; i < iters; i++ {
+		contrib := map[string]uint64{}
+		for v, targets := range adj {
+			if len(targets) == 0 {
+				continue
+			}
+			c := ranks[v] * 85 / 100 / uint64(len(targets))
+			for _, tgt := range targets {
+				contrib[tgt] += c
+			}
+		}
+		next := map[string]uint64{}
+		teleport := uint64(RankScale) * 15 / 100 / uint64(cfg.Nodes)
+		for v := range adj {
+			next[v] = teleport + contrib[v]
+		}
+		ranks = next
+	}
+	return ranks
+}
+
+func runPageRank(t *testing.T, eng Engine, cfg GraphConfig, blockSize int64, iters int) map[string]string {
+	t.Helper()
+	ccfg := tinyConfig(eng)
+	ccfg.BlockSize = blockSize
+	cl := NewCluster(ccfg)
+	w := PageRankInit(cfg)
+	if err := cl.Register(Dataset{Path: "graph", Size: cfg.TotalBytes(blockSize), Gen: w.Gen}); err != nil {
+		t.Fatal(err)
+	}
+	job := w.Job
+	job.InputPath = "graph"
+	job.OutputPath = "pr/0"
+	job.RetainOutput = true
+	if _, err := cl.RunJob(job); err != nil {
+		t.Fatal(err)
+	}
+	var last *Result
+	for i := 1; i <= iters; i++ {
+		iter := PageRankIter(cfg.Nodes)
+		iter.InputPath = "pr/" + string(rune('0'+i-1))
+		iter.OutputPath = "pr/" + string(rune('0'+i))
+		iter.RetainOutput = true
+		res, err := cl.RunJob(iter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	return last.Output
+}
+
+// TestPageRankMatchesReferenceAcrossEngines checks bit-exact rank equality
+// (fixed-point arithmetic commutes) for every engine after 3 iterations.
+func TestPageRankMatchesReferenceAcrossEngines(t *testing.T) {
+	cfg := tinyGraph()
+	const blockSize = 16 << 10
+	const iters = 3
+	want := referencePageRank(t, cfg, blockSize, iters)
+	for _, eng := range Engines() {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			out := runPageRank(t, eng, cfg, blockSize, iters)
+			if len(out) != len(want) {
+				t.Fatalf("vertices = %d, want %d", len(out), len(want))
+			}
+			checked := 0
+			for v, val := range out {
+				rank, _ := DecodeRank([]byte(val))
+				if rank != want[v] {
+					t.Fatalf("vertex %s rank = %d, want %d", v, rank, want[v])
+				}
+				checked++
+			}
+			if checked == 0 {
+				t.Fatal("empty ranks")
+			}
+		})
+	}
+}
+
+func TestPageRankMassConcentrates(t *testing.T) {
+	// With Zipf-skewed endpoints, low-id vertices must accumulate rank.
+	cfg := tinyGraph()
+	out := runPageRank(t, HashIncremental, cfg, 16<<10, 3)
+	r0, _ := DecodeRank([]byte(out["v0"]))
+	base := uint64(RankScale) / uint64(cfg.Nodes)
+	if r0 < 5*base {
+		t.Fatalf("v0 rank %d not far above uniform %d", r0, base)
+	}
+}
+
+func TestGraphGeneratorCoversAllVertices(t *testing.T) {
+	cfg := tinyGraph()
+	const blockSize = 8 << 10
+	seen := map[string]bool{}
+	total := cfg.TotalBytes(blockSize)
+	for b := 0; int64(b)*blockSize < total; b++ {
+		data := cfg.Block(b, blockSize)
+		if int64(len(data)) > blockSize {
+			t.Fatalf("block %d overflows budget: %d > %d", b, len(data), blockSize)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			seen[strings.Split(line, " ")[0]] = true
+		}
+	}
+	if len(seen) != cfg.Nodes {
+		t.Fatalf("generator covered %d vertices, want %d", len(seen), cfg.Nodes)
+	}
+	// Deterministic.
+	if string(cfg.Block(1, blockSize)) != string(cfg.Block(1, blockSize)) {
+		t.Fatal("graph generation must be deterministic")
+	}
+}
