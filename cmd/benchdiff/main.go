@@ -1,0 +1,160 @@
+// Command benchdiff compares `go test -bench` output against a checked-in
+// baseline and fails (exit 1) when a benchmark regresses beyond a
+// threshold. It is CI's benchmark smoke gate:
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... | tee /tmp/bench.txt
+//	go run ./cmd/benchdiff -baseline ci/bench-baseline.txt -current /tmp/bench.txt
+//
+// The default metric is allocs/op: allocation counts are stable across
+// machines and Go patch releases, so a >25% jump is a real regression, not
+// scheduler noise — which also makes the check meaningful at -benchtime=1x,
+// where ns/op from a single iteration is mostly noise. Pass -metric ns/op
+// (with a generous -threshold) only on a quiet, pinned machine.
+//
+// Refresh the baseline after intentional changes:
+//
+//	go test -bench=. -benchtime=1x -benchmem ./... > ci/bench-baseline.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// entry holds one benchmark's metrics, keyed by unit ("ns/op", "B/op", ...).
+type entry map[string]float64
+
+// parseBench reads `go test -bench` output into key→metrics, where key is
+// "pkg.BenchmarkName" with the -GOMAXPROCS suffix stripped so runs from
+// hosts with different core counts compare.
+func parseBench(path string) (map[string]entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]entry)
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines: name, iterations, then value/unit pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip -GOMAXPROCS
+			}
+		}
+		e := make(entry)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a value/unit pair (e.g. trailing note)
+			}
+			e[fields[i+1]] = v
+		}
+		if len(e) > 0 {
+			out[pkg+"."+name] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baseline := flag.String("baseline", "ci/bench-baseline.txt", "checked-in baseline bench output")
+	current := flag.String("current", "", "bench output to compare (required)")
+	metric := flag.String("metric", "allocs/op", "metric to gate on (allocs/op, B/op, ns/op)")
+	threshold := flag.Float64("threshold", 0.25, "fail when current > baseline * (1+threshold)")
+	minVal := flag.Float64("min", 8, "skip comparisons where both values are below this (noise floor)")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline ci/bench-baseline.txt -current bench.txt")
+		os.Exit(2)
+	}
+
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 || len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks parsed (baseline %d, current %d)\n", len(base), len(cur))
+		os.Exit(2)
+	}
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions, compared := 0, 0
+	for _, k := range keys {
+		b, ok := base[k][*metric]
+		if !ok {
+			continue
+		}
+		ce, ok := cur[k]
+		if !ok {
+			fmt.Printf("MISSING  %-60s (in baseline, not in current run)\n", k)
+			continue
+		}
+		c, ok := ce[*metric]
+		if !ok {
+			continue
+		}
+		compared++
+		if b < *minVal && c < *minVal {
+			continue
+		}
+		delta := 0.0
+		if b > 0 {
+			delta = c/b - 1
+		} else if c > 0 {
+			delta = 1 // 0 → nonzero counts as full regression
+		}
+		status := "ok      "
+		if delta > *threshold {
+			status = "REGRESS "
+			regressions++
+		}
+		fmt.Printf("%s %-60s %12.1f -> %12.1f %s (%+.1f%%)\n", status, k, b, c, *metric, 100*delta)
+	}
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("NEW      %-60s (not in baseline — refresh ci/bench-baseline.txt)\n", k)
+		}
+	}
+
+	fmt.Printf("\ncompared %d benchmarks on %s at +%.0f%% threshold: %d regression(s)\n",
+		compared, *metric, 100**threshold, regressions)
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: nothing compared — metric missing? (run benchmarks with -benchmem)")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"encoding/json"
+
+	"onepass/internal/metrics"
+	"onepass/internal/sim"
+)
+
+// resultJSON mirrors Result for persistence. Result's only unexported field
+// (haveFirst) distinguishes "no output" from "first output at virtual time
+// zero", so it must round-trip for cached results to render identically to
+// fresh ones.
+type resultJSON struct {
+	Job    string       `json:"job"`
+	Engine string       `json:"engine"`
+	Mk     sim.Duration `json:"makespan"`
+
+	Output      map[string]string `json:"output,omitempty"`
+	OutputPairs int               `json:"outputPairs"`
+	OutputBytes int64             `json:"outputBytes"`
+
+	FirstOutputAt sim.Time   `json:"firstOutputAt"`
+	HaveFirst     bool       `json:"haveFirst"`
+	Snapshots     []Snapshot `json:"snapshots,omitempty"`
+
+	CPU      *metrics.CPUAccount `json:"cpu"`
+	Counters *metrics.Counters   `json:"counters"`
+
+	CPUUtil      *metrics.Series   `json:"cpuUtil"`
+	Iowait       *metrics.Series   `json:"iowait"`
+	BytesRead    *metrics.Series   `json:"bytesRead"`
+	BytesWritten *metrics.Series   `json:"bytesWritten"`
+	NetBytes     *metrics.Series   `json:"netBytes"`
+	Timeline     *metrics.Timeline `json:"timeline"`
+}
+
+// MarshalJSON encodes the result, including the unexported first-output
+// marker, for the experiment run cache.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Job: r.Job, Engine: r.Engine, Mk: r.Makespan,
+		Output: r.Output, OutputPairs: r.OutputPairs, OutputBytes: r.OutputBytes,
+		FirstOutputAt: r.FirstOutputAt, HaveFirst: r.haveFirst, Snapshots: r.Snapshots,
+		CPU: r.CPU, Counters: r.Counters,
+		CPUUtil: r.CPUUtil, Iowait: r.Iowait, BytesRead: r.BytesRead,
+		BytesWritten: r.BytesWritten, NetBytes: r.NetBytes, Timeline: r.Timeline,
+	})
+}
+
+// UnmarshalJSON decodes a result persisted by MarshalJSON.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var rj resultJSON
+	if err := json.Unmarshal(b, &rj); err != nil {
+		return err
+	}
+	*r = Result{
+		Job: rj.Job, Engine: rj.Engine, Makespan: rj.Mk,
+		Output: rj.Output, OutputPairs: rj.OutputPairs, OutputBytes: rj.OutputBytes,
+		FirstOutputAt: rj.FirstOutputAt, haveFirst: rj.HaveFirst, Snapshots: rj.Snapshots,
+		CPU: rj.CPU, Counters: rj.Counters,
+		CPUUtil: rj.CPUUtil, Iowait: rj.Iowait, BytesRead: rj.BytesRead,
+		BytesWritten: rj.BytesWritten, NetBytes: rj.NetBytes, Timeline: rj.Timeline,
+	}
+	return nil
+}

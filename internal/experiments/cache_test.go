@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunCachePersistRoundTrip proves the property CI reruns rely on: a
+// sweep loaded from a persisted run cache renders byte-identical reports
+// without executing a single simulation.
+func TestRunCachePersistRoundTrip(t *testing.T) {
+	scale := testScale()
+	path := filepath.Join(t.TempDir(), "runs.json")
+
+	s1 := NewSession(scale)
+	rep1 := s1.SecVSpillReduction().Render()
+	runs1, _ := s1.RunStats()
+	if runs1 == 0 {
+		t.Fatal("first sweep executed no runs")
+	}
+	saved, err := s1.SaveCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != runs1 {
+		t.Fatalf("saved %d runs, executed %d", saved, runs1)
+	}
+
+	s2 := NewSession(scale)
+	loaded, err := s2.LoadCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != saved {
+		t.Fatalf("loaded %d runs, saved %d", loaded, saved)
+	}
+	rep2 := s2.SecVSpillReduction().Render()
+	if runs2, _ := s2.RunStats(); runs2 != 0 {
+		t.Fatalf("cached sweep still executed %d runs", runs2)
+	}
+	if rep1 != rep2 {
+		t.Fatalf("cached render differs from fresh render:\n%s\nvs\n%s", rep1, rep2)
+	}
+
+	// Saving the cached session reproduces the file byte-for-byte: the
+	// cache is deterministic and idempotent.
+	path2 := filepath.Join(t.TempDir(), "runs2.json")
+	if _, err := s2.SaveCache(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("re-saved cache differs from original file")
+	}
+}
+
+func TestRunCacheScaleMismatchIgnored(t *testing.T) {
+	scale := testScale()
+	path := filepath.Join(t.TempDir(), "runs.json")
+	s1 := NewSession(scale)
+	s1.Run(runSpec{Workload: "per-user-count", Engine: "hash-incremental", InputGB: 64})
+	if _, err := s1.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	other := scale
+	other.Factor *= 2
+	s2 := NewSession(other)
+	if n, err := s2.LoadCache(path); err == nil || n != 0 {
+		t.Fatalf("LoadCache accepted a cache from a different scale (n=%d, err=%v)", n, err)
+	}
+	if runs, _ := s2.RunStats(); runs != 0 {
+		t.Fatalf("mismatch load executed %d runs", runs)
+	}
+}
+
+func TestRunCacheMissingFileIsEmpty(t *testing.T) {
+	s := NewSession(testScale())
+	if n, err := s.LoadCache(filepath.Join(t.TempDir(), "absent.json")); n != 0 || err != nil {
+		t.Fatalf("missing cache: n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+func TestRunCacheVersionMismatchIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.json")
+	if err := os.WriteFile(path, []byte(`{"version":999,"scale":{},"runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(testScale())
+	if n, err := s.LoadCache(path); err == nil || n != 0 {
+		t.Fatalf("LoadCache accepted version 999 (n=%d, err=%v)", n, err)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// renderAll concatenates every report, mirroring what cmd/experiments
+// writes between header and footer.
+func renderAll(reps []*Report) []byte {
+	var b bytes.Buffer
+	for _, rep := range reps {
+		b.WriteString(rep.Render())
+		b.WriteString("\n")
+	}
+	return b.Bytes()
+}
+
+// TestParallelSweepByteIdenticalToSerial is the determinism regression
+// gate: the full sweep rendered after parallel prefetch (4 workers) must be
+// byte-identical to the serial reference path, and every run a renderer
+// performs must have been declared (and therefore prefetched) by its
+// experiment — otherwise parallelism silently degrades to serial render-
+// time execution.
+func TestParallelSweepByteIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full double sweep in -short mode")
+	}
+	scale := testScale()
+
+	serial := NewSession(scale)
+	serialOut := renderAll(serial.All())
+	serialRuns, _ := serial.RunStats()
+
+	par := NewSession(scale)
+	reps, err := par.RunAll(context.Background(), 4, Experiments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOut := renderAll(reps)
+	parRuns, _ := par.RunStats()
+
+	if !bytes.Equal(serialOut, parOut) {
+		d := diffLine(serialOut, parOut)
+		t.Fatalf("parallel sweep output differs from serial at line %d:\nserial: %s\nparallel: %s",
+			d.line, d.a, d.b)
+	}
+	if serialRuns != parRuns {
+		t.Errorf("parallel session executed %d runs, serial %d — duplicate or missing executions", parRuns, serialRuns)
+	}
+
+	// Spec coverage: the cache keys after a full parallel sweep are exactly
+	// the specs the experiment registry declares. A render that ran an
+	// undeclared spec (cache key not declared) or a declared spec no render
+	// consumed (wasted prefetch) both fail here.
+	declared := make(map[runSpec]bool)
+	for _, e := range Experiments() {
+		if e.Specs != nil {
+			for _, sp := range e.Specs(par) {
+				declared[sp] = true
+			}
+		}
+		if e.After != nil {
+			for _, sp := range e.After(par) {
+				declared[sp] = true
+			}
+		}
+	}
+	par.mu.Lock()
+	cached := make([]runSpec, 0, len(par.results))
+	for sp := range par.results {
+		cached = append(cached, sp)
+	}
+	par.mu.Unlock()
+	for _, sp := range cached {
+		if !declared[sp] {
+			t.Errorf("render executed undeclared spec %+v — add it to the experiment's Specs/After", sp)
+		}
+	}
+	if len(cached) != len(declared) {
+		t.Errorf("declared %d specs but cache holds %d — some declared specs are never rendered", len(declared), len(cached))
+	}
+}
+
+type lineDiff struct {
+	line int
+	a, b string
+}
+
+func diffLine(a, b []byte) lineDiff {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return lineDiff{line: i + 1, a: al[i], b: bl[i]}
+		}
+	}
+	return lineDiff{line: len(al), a: "<end>", b: "<end>"}
+}

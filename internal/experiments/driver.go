@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"onepass/internal/parallel"
+)
+
+// Experiment is one reproduced table/figure/section: the runs it needs and
+// the renderer that turns cached results into a Report.
+//
+// Specs lists runs knowable before anything executes (wave 1). After lists
+// runs whose spec depends on a wave-1 result — e.g. the fault-injection run
+// is timed against the fault-free baseline's makespan — and is consulted
+// only once every wave-1 run completed (wave 2). Renderers call Session.Run
+// directly, so a spec missing from these lists still executes correctly —
+// it just runs serially at render time instead of inside the parallel
+// waves. The determinism test pins parallel output to serial output, and
+// TestExperimentSpecsCoverRenders pins the lists to what renders actually
+// consume.
+type Experiment struct {
+	ID     string // matches the rendered Report.ID (e.g. "Table I", "Fig 2(b)")
+	Specs  func(s *Session) []runSpec
+	After  func(s *Session) []runSpec
+	Render func(s *Session) *Report
+}
+
+// Experiments returns every reproduced experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "Table I", Specs: tableISpecs, Render: (*Session).TableI},
+		{ID: "Table II", Specs: tableIISpecs, Render: (*Session).TableII},
+		{ID: "Table III", Specs: tableIIISpecs, Render: (*Session).TableIII},
+		{ID: "§III.B.1", Specs: parsingCostSpecs, Render: (*Session).ParsingCost},
+		{ID: "§III.B.2", Specs: mapOutputWriteShareSpecs, Render: (*Session).MapOutputWriteShare},
+		{ID: "Fig 2(a)", Specs: fig2Specs, Render: (*Session).Fig2a},
+		{ID: "Fig 2(b)", Specs: fig2Specs, Render: (*Session).Fig2b},
+		{ID: "Fig 2(c)", Specs: fig2Specs, Render: (*Session).Fig2c},
+		{ID: "Fig 2(d)", Specs: fig2Specs, Render: (*Session).Fig2d},
+		{ID: "Fig 2(e)", Specs: fig2eSpecs, Render: (*Session).Fig2e},
+		{ID: "Fig 2(f)", Specs: fig2fSpecs, Render: (*Session).Fig2f},
+		{ID: "Fig 3", Specs: fig3Specs, Render: (*Session).Fig3},
+		{ID: "Fig 4", Specs: fig4Specs, Render: (*Session).Fig4},
+		{ID: "§V", Specs: secVHashVsHadoopSpecs, Render: (*Session).SecVHashVsHadoop},
+		{ID: "§V (spills)", Specs: secVSpillSpecs, Render: (*Session).SecVSpillReduction},
+		{ID: "§IV/§V (latency)", Specs: secVLatencySpecs, Render: (*Session).SecVIncrementalLatency},
+		{ID: "§I/§IV (streaming)", Specs: streamingSpecs, Render: (*Session).Streaming},
+		{ID: "Fault tolerance",
+			Specs:  func(*Session) []runSpec { return []runSpec{specHadoopSessionization()} },
+			After:  func(s *Session) []runSpec { return []runSpec{s.faultSpec()} },
+			Render: (*Session).FaultTolerance},
+		{ID: "Ablation (fan-in)", Specs: ablationFanInSpecs, Render: (*Session).AblationFanIn},
+		{ID: "Ablation (HOP chunk)", Specs: ablationHOPChunkSpecs, Render: (*Session).AblationHOPChunk},
+		{ID: "Ablation (hot-key memory)", Specs: ablationHotKeyMemorySpecs, Render: (*Session).AblationHotKeyMemory},
+	}
+}
+
+// All renders every experiment in paper order, serially. Kept as the
+// reference execution path: RunAll's output is defined to be byte-identical
+// to this.
+func (s *Session) All() []*Report {
+	reps := make([]*Report, 0, len(Experiments()))
+	for _, e := range Experiments() {
+		reps = append(reps, e.Render(s))
+	}
+	return reps
+}
+
+// dedupeSpecs drops duplicate specs, preserving first-seen order (runSpec
+// is comparable — it is the cache key).
+func dedupeSpecs(specs []runSpec) []runSpec {
+	seen := make(map[runSpec]bool, len(specs))
+	out := specs[:0]
+	for _, sp := range specs {
+		if !seen[sp] {
+			seen[sp] = true
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// prefetch executes the given specs on up to workers goroutines. Each run
+// owns a private sim.Env/cluster/DFS, so concurrent runs share nothing but
+// the session's result cache. A panic inside a run is captured by the pool
+// and returned as an error.
+func (s *Session) prefetch(ctx context.Context, workers int, specs []runSpec) error {
+	specs = dedupeSpecs(specs)
+	return parallel.ForEach(ctx, workers, len(specs), func(i int) error {
+		s.Run(specs[i])
+		return nil
+	})
+}
+
+// RunAll executes every run the given experiments need — fanning out up to
+// workers concurrent simulations (GOMAXPROCS when workers <= 0) — then
+// renders each report in order. Because rendering happens serially against
+// a fully warmed cache, and each run is deterministic on its private
+// virtual cluster, the returned reports are byte-identical to a serial
+// s.All() regardless of workers or scheduling.
+func (s *Session) RunAll(ctx context.Context, workers int, exps []Experiment) ([]*Report, error) {
+	var wave1 []runSpec
+	for _, e := range exps {
+		if e.Specs != nil {
+			wave1 = append(wave1, e.Specs(s)...)
+		}
+	}
+	if err := s.prefetch(ctx, workers, wave1); err != nil {
+		return nil, fmt.Errorf("experiments: wave 1: %w", err)
+	}
+	var wave2 []runSpec
+	for _, e := range exps {
+		if e.After != nil {
+			wave2 = append(wave2, e.After(s)...)
+		}
+	}
+	if err := s.prefetch(ctx, workers, wave2); err != nil {
+		return nil, fmt.Errorf("experiments: wave 2: %w", err)
+	}
+	reps := make([]*Report, 0, len(exps))
+	for _, e := range exps {
+		reps = append(reps, e.Render(s))
+	}
+	return reps, nil
+}

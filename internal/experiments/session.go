@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"onepass/internal/cluster"
 	"onepass/internal/core"
@@ -21,49 +23,82 @@ type runSpec struct {
 	Engine   string // "hadoop", "hop", "hash-hybrid", "hash-incremental", "hash-hotkey"
 	InputGB  float64
 	// Topology deltas.
-	SSD   bool
-	Split bool
+	SSD   bool `json:",omitempty"`
+	Split bool `json:",omitempty"`
 	// Engine knobs (zero = default).
-	FanIn         int
-	ChunkBytes    int64
-	MemoryPerTask int64
-	HotCounters   int
-	Snapshots     bool
-	BinaryInput   bool
+	FanIn         int   `json:",omitempty"`
+	ChunkBytes    int64 `json:",omitempty"`
+	MemoryPerTask int64 `json:",omitempty"`
+	HotCounters   int   `json:",omitempty"`
+	Snapshots     bool  `json:",omitempty"`
+	BinaryInput   bool  `json:",omitempty"`
 	// SkewedUsers swaps in an unscaled, strongly Zipf-skewed user space —
 	// the regime where hot-key pinning pays (§V's spill experiment).
-	SkewedUsers bool
+	SkewedUsers bool `json:",omitempty"`
 	// Threshold, when positive, attaches the §IV threshold query: emit a
 	// key the moment its count reaches this value (hash engines only).
-	Threshold uint64
-	// StreamRate, when positive, streams the input into the system at this
-	// fraction of the dataset per virtual minute instead of preloading it.
-	StreamPerMinute float64
+	Threshold uint64 `json:",omitempty"`
+	// StreamPerMinute, when positive, streams the input into the system at
+	// this fraction of the dataset per virtual minute instead of preloading
+	// it.
+	StreamPerMinute float64 `json:",omitempty"`
 	// FaultNodeAtFrac, when positive, fails FaultNode at this fraction of
-	// the fault-free makespan (hadoop engine only).
-	FaultNode       int
-	FaultNodeAtFrac float64
-	baselineMS      sim.Duration // carried by the session for fault specs
+	// the fault-free makespan (hadoop engine only). BaselineMS carries that
+	// makespan; it is part of the cache key and persists with it.
+	FaultNode       int          `json:",omitempty"`
+	FaultNodeAtFrac float64      `json:",omitempty"`
+	BaselineMS      sim.Duration `json:",omitempty"`
+}
+
+// runEntry is one cache slot. The goroutine that inserts the entry runs the
+// simulation and closes done; concurrent requesters of the same spec block
+// on done instead of duplicating the run (singleflight).
+type runEntry struct {
+	done chan struct{}
+	res  *engine.Result // nil after done only if the producing run panicked
 }
 
 // Session caches experiment runs so Figs 2(a)–(d) share one sessionization
-// execution, exactly as the paper plots one run four ways.
+// execution, exactly as the paper plots one run four ways. It is safe for
+// concurrent use: the parallel driver calls Run from many goroutines, each
+// run executing on a private sim.Env/cluster/DFS.
 type Session struct {
-	Scale   Scale
-	results map[runSpec]*engine.Result
-	// Log, if set, receives progress lines.
+	Scale Scale
+	// Log, if set, receives progress lines. It may be called from multiple
+	// goroutines; Session serializes the calls.
 	Log func(format string, args ...interface{})
+
+	mu      sync.Mutex
+	results map[runSpec]*runEntry
+	// runWall accumulates real wall-clock spent executing (non-cached)
+	// runs; comparing it with elapsed wall time gives the parallel
+	// speedup the driver reports.
+	runWall time.Duration
+	runs    int // number of runs actually executed (cache misses)
+
+	logMu sync.Mutex
 }
 
 // NewSession returns a session at the given scale.
 func NewSession(s Scale) *Session {
-	return &Session{Scale: s, results: make(map[runSpec]*engine.Result)}
+	return &Session{Scale: s, results: make(map[runSpec]*runEntry)}
 }
 
 func (s *Session) logf(format string, args ...interface{}) {
-	if s.Log != nil {
-		s.Log(format, args...)
+	if s.Log == nil {
+		return
 	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.Log(format, args...)
+}
+
+// RunStats reports how many simulations this session actually executed and
+// the wall-clock they consumed in aggregate (the serial-equivalent cost).
+func (s *Session) RunStats() (runs int, wall time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs, s.runWall
 }
 
 func (s *Session) workload(name string, binary, skewed bool) *workloads.Workload {
@@ -98,11 +133,40 @@ func (s *Session) workload(name string, binary, skewed bool) *workloads.Workload
 	panic(fmt.Sprintf("experiments: unknown workload %q", name))
 }
 
-// Run executes (or returns the cached result of) one spec.
+// Run executes (or returns the cached result of) one spec. Concurrent calls
+// with the same spec share a single execution.
 func (s *Session) Run(spec runSpec) *engine.Result {
-	if res, ok := s.results[spec]; ok {
-		return res
+	s.mu.Lock()
+	if e, ok := s.results[spec]; ok {
+		s.mu.Unlock()
+		<-e.done
+		if e.res == nil {
+			panic(fmt.Sprintf("experiments: %s/%s: awaited run failed", spec.Engine, spec.Workload))
+		}
+		return e.res
 	}
+	e := &runEntry{done: make(chan struct{})}
+	s.results[spec] = e
+	s.mu.Unlock()
+
+	start := time.Now()
+	// close(e.done) must happen even if execute panics, so waiting
+	// goroutines wake up (and see res == nil) instead of hanging.
+	defer close(e.done)
+	res := s.execute(spec)
+	e.res = res
+
+	s.mu.Lock()
+	s.runWall += time.Since(start)
+	s.runs++
+	s.mu.Unlock()
+	return res
+}
+
+// execute performs one simulation on a private environment. Everything the
+// run touches — sim clock, cluster, DFS, metrics — is created here, so runs
+// are independent and their results depend only on the spec and scale.
+func (s *Session) execute(spec runSpec) *engine.Result {
 	w := s.workload(spec.Workload, spec.BinaryInput, spec.SkewedUsers)
 
 	env := sim.New()
@@ -148,7 +212,7 @@ func (s *Session) Run(spec runSpec) *engine.Result {
 		hopts := hadoop.Options{FanIn: spec.FanIn, SegmentLimit: s.segmentLimit(inputSize)}
 		if spec.FaultNodeAtFrac > 0 {
 			hopts.Faults = []hadoop.Fault{{Node: spec.FaultNode,
-				At: sim.Duration(float64(spec.baselineMS) * spec.FaultNodeAtFrac)}}
+				At: sim.Duration(float64(spec.BaselineMS) * spec.FaultNodeAtFrac)}}
 		}
 		res, err = hadoop.Run(rt, job, hopts)
 	case "hop":
@@ -168,7 +232,6 @@ func (s *Session) Run(spec runSpec) *engine.Result {
 		panic(fmt.Sprintf("experiments: %s/%s: %v", spec.Engine, spec.Workload, err))
 	}
 	s.logf("  done: makespan=%v cpu=%.1fs", res.Makespan, res.CPU.Total())
-	s.results[spec] = res
 	return res
 }
 
@@ -191,9 +254,15 @@ func (s *Session) sampleInterval() sim.Duration {
 	return engine.SampleInterval
 }
 
+// specHadoopSessionization is the shared run behind Figs 2(a)–(d), Table
+// II, and several §V comparisons.
+func specHadoopSessionization() runSpec {
+	return runSpec{Workload: "sessionization", Engine: "hadoop", InputGB: 256}
+}
+
 // hadoopSessionization is the shared run behind Figs 2(a)–(d) and Table II.
 func (s *Session) hadoopSessionization() *engine.Result {
-	return s.Run(runSpec{Workload: "sessionization", Engine: "hadoop", InputGB: 256})
+	return s.Run(specHadoopSessionization())
 }
 
 // mapFnCPU sums the map-side per-record CPU phases the paper's Table II

@@ -7,6 +7,14 @@ import (
 	"onepass/internal/workloads"
 )
 
+func tableISpecs(s *Session) []runSpec {
+	var out []runSpec
+	for _, pw := range s.Scale.TableIWorkloads() {
+		out = append(out, runSpec{Workload: pw.Name, Engine: "hadoop", InputGB: pw.InputGB})
+	}
+	return out
+}
+
 // TableI reproduces "Workloads and their running time in the benchmark":
 // data volumes, task counts, and completion times for the four workloads on
 // stock Hadoop. Absolute numbers scale with Scale.Factor; the ratios
@@ -14,8 +22,9 @@ import (
 // reproduction targets.
 func (s *Session) TableI() *Report {
 	rep := &Report{ID: "Table I", Title: "Workloads and their running time (Hadoop engine)"}
-	for _, pw := range s.Scale.TableIWorkloads() {
-		res := s.Run(runSpec{Workload: pw.Name, Engine: "hadoop", InputGB: pw.InputGB})
+	specs := tableISpecs(s)
+	for i, pw := range s.Scale.TableIWorkloads() {
+		res := s.Run(specs[i])
 		input := res.Counters.Get(engine.CtrMapInputBytes)
 		mapOut := res.Counters.Get(engine.CtrMapWrittenBytes)
 		spill := res.Counters.Get(engine.CtrReduceSpillBytes)
@@ -50,6 +59,13 @@ func (s *Session) TableI() *Report {
 		)
 	}
 	return rep
+}
+
+func tableIISpecs(*Session) []runSpec {
+	return []runSpec{
+		specHadoopSessionization(),
+		{Workload: "per-user-count", Engine: "hadoop", InputGB: 256},
+	}
 }
 
 // TableII reproduces the map-phase CPU split between the map function
@@ -92,19 +108,24 @@ func (s *Session) TableII() *Report {
 	return rep
 }
 
+func tableIIISpecs(*Session) []runSpec {
+	spec := func(eng string) runSpec {
+		return runSpec{Workload: "per-user-count", Engine: eng, InputGB: 64, Snapshots: eng == "hop"}
+	}
+	hiSpec := spec("hash-incremental")
+	hiSpec.Threshold = 50 // §IV's "count exceeds a threshold" query
+	return []runSpec{spec("hadoop"), spec("hop"), hiSpec}
+}
+
 // TableIII reproduces the qualitative comparison of Hadoop, MapReduce
 // Online, and the ideal incremental one-pass system — except each claim is
 // verified against an actual run rather than asserted.
 func (s *Session) TableIII() *Report {
 	rep := &Report{ID: "Table III", Title: "Hadoop vs MR Online vs hash engine (verified capabilities)"}
-	spec := func(eng string) runSpec {
-		return runSpec{Workload: "per-user-count", Engine: eng, InputGB: 64, Snapshots: eng == "hop"}
-	}
-	hd := s.Run(spec("hadoop"))
-	ho := s.Run(spec("hop"))
-	hiSpec := spec("hash-incremental")
-	hiSpec.Threshold = 50 // §IV's "count exceeds a threshold" query
-	hi := s.Run(hiSpec)
+	specs := tableIIISpecs(s)
+	hd := s.Run(specs[0])
+	ho := s.Run(specs[1])
+	hi := s.Run(specs[2])
 
 	sortCPU := func(r *engine.Result) string {
 		if r.CPU.Seconds(engine.PhaseSort) > 0 {
@@ -145,6 +166,10 @@ func (s *Session) TableIII() *Report {
 	return rep
 }
 
+func mapOutputWriteShareSpecs(*Session) []runSpec {
+	return []runSpec{specHadoopSessionization()}
+}
+
 // MapOutputWriteShare reproduces §III.B.2: the synchronous map-output
 // write is a small share of a map task's lifetime (paper: 1.3 s of 21.6 s
 // ≈ 6%).
@@ -173,12 +198,12 @@ func (s *Session) MapOutputWriteShare() *Report {
 	}
 }
 
-// ParsingCost reproduces §III.B.1: text vs binary (SequenceFile-like)
-// input makes almost no difference end to end.
-func (s *Session) ParsingCost() *Report {
-	text := s.hadoopSessionization()
-	// Same *logical* data, different encoding: size the binary input so
-	// both runs process the same record count (binary records are denser).
+// binaryInputRatio probes both encodings of the same logical click data and
+// returns bytes-per-record binary/text, so a binary run can be sized to
+// process the same record count as its text twin (binary records are
+// denser). Pure computation over the deterministic generators — no
+// simulation runs.
+func (s *Session) binaryInputRatio() float64 {
 	cfgT := s.Scale.clickCfg()
 	cfgB := cfgT
 	cfgB.Binary = true
@@ -186,8 +211,22 @@ func (s *Session) ParsingCost() *Report {
 	countT, countB := 0, 0
 	workloads.LineReader(cfgT.Block(0, probe), func([]byte) { countT++ })
 	workloads.BinaryClickReader(cfgB.Block(0, probe), func([]byte) { countB++ })
-	ratio := float64(countT) / float64(countB) // bytes-per-record: binary / text
-	bin := s.Run(runSpec{Workload: "sessionization", Engine: "hadoop", InputGB: 256 * ratio, BinaryInput: true})
+	return float64(countT) / float64(countB)
+}
+
+func parsingCostSpecs(s *Session) []runSpec {
+	return []runSpec{
+		specHadoopSessionization(),
+		{Workload: "sessionization", Engine: "hadoop", InputGB: 256 * s.binaryInputRatio(), BinaryInput: true},
+	}
+}
+
+// ParsingCost reproduces §III.B.1: text vs binary (SequenceFile-like)
+// input makes almost no difference end to end.
+func (s *Session) ParsingCost() *Report {
+	specs := parsingCostSpecs(s)
+	text := s.Run(specs[0])
+	bin := s.Run(specs[1])
 	return &Report{
 		ID:    "§III.B.1",
 		Title: "Cost of parsing: text vs binary input",

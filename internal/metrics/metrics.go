@@ -7,10 +7,12 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"onepass/internal/sim"
 )
@@ -169,9 +171,39 @@ func (s *Series) Downsample(factor int) *Series {
 	return out
 }
 
+// seriesJSON is the persisted form of a Series.
+type seriesJSON struct {
+	Name   string       `json:"name"`
+	Unit   string       `json:"unit"`
+	Bucket sim.Duration `json:"bucket"`
+	Vals   []float64    `json:"vals"`
+}
+
+// MarshalJSON encodes the series with its bucket width, for run caching.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	return json.Marshal(seriesJSON{Name: s.Name, Unit: s.Unit, Bucket: s.Bucket, Vals: s.vals})
+}
+
+// UnmarshalJSON decodes a series persisted by MarshalJSON.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	var sj seriesJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return err
+	}
+	if sj.Bucket <= 0 {
+		return fmt.Errorf("metrics: series %q has non-positive bucket %d", sj.Name, sj.Bucket)
+	}
+	s.Name, s.Unit, s.Bucket, s.vals = sj.Name, sj.Unit, sj.Bucket, sj.Vals
+	return nil
+}
+
 // Counters is a bag of named cumulative counters (bytes spilled, records
-// emitted, comparisons executed, ...).
+// emitted, comparisons executed, ...). It is safe for concurrent use: the
+// parallel experiment driver runs many simulations at once, and while each
+// run owns its own bag, nothing in the type should force that discipline on
+// future callers (e.g. a shared cross-run aggregate).
 type Counters struct {
+	mu   sync.Mutex
 	vals map[string]float64
 }
 
@@ -179,19 +211,49 @@ type Counters struct {
 func NewCounters() *Counters { return &Counters{vals: make(map[string]float64)} }
 
 // Add accumulates v into name.
-func (c *Counters) Add(name string, v float64) { c.vals[name] += v }
+func (c *Counters) Add(name string, v float64) {
+	c.mu.Lock()
+	c.vals[name] += v
+	c.mu.Unlock()
+}
 
 // Get returns the value of name (0 if absent).
-func (c *Counters) Get(name string) float64 { return c.vals[name] }
+func (c *Counters) Get(name string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
 // Names returns all counter names, sorted.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	names := make([]string, 0, len(c.vals))
 	for n := range c.vals {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// MarshalJSON encodes the bag as a plain name→value object (keys sorted by
+// encoding/json, so output is deterministic).
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.Marshal(c.vals)
+}
+
+// UnmarshalJSON replaces the bag's contents.
+func (c *Counters) UnmarshalJSON(b []byte) error {
+	vals := make(map[string]float64)
+	if err := json.Unmarshal(b, &vals); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.vals = vals
+	c.mu.Unlock()
+	return nil
 }
 
 // CPUAccount attributes CPU seconds to named phases ("map-fn", "sort",
@@ -260,6 +322,21 @@ func (a *CPUAccount) Sub(base *CPUAccount) {
 	for phase, s := range base.seconds {
 		a.seconds[phase] -= s
 	}
+}
+
+// MarshalJSON encodes the account as a phase→seconds object.
+func (a *CPUAccount) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.seconds)
+}
+
+// UnmarshalJSON replaces the account's contents.
+func (a *CPUAccount) UnmarshalJSON(b []byte) error {
+	seconds := make(map[string]float64)
+	if err := json.Unmarshal(b, &seconds); err != nil {
+		return err
+	}
+	a.seconds = seconds
+	return nil
 }
 
 // FormatBytes renders a byte count with a binary-ish human suffix.

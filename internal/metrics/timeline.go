@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -145,6 +146,38 @@ func (tl *Timeline) Render(bucket sim.Duration, end sim.Time, maxWidth int) stri
 		fmt.Fprintf(&b, "%-*s |%s| peak=%d\n", nameW, p, s.Spark(), int(counts[p].Max()))
 	}
 	return b.String()
+}
+
+// spanJSON is the persisted form of a Span. Open spans only exist while a
+// run is in flight; persisted timelines are always fully closed, but the
+// flag round-trips anyway so a marshaled timeline is faithful.
+type spanJSON struct {
+	Phase  string   `json:"phase"`
+	Start  sim.Time `json:"start"`
+	Finish sim.Time `json:"finish"`
+	Open   bool     `json:"open,omitempty"`
+}
+
+// MarshalJSON encodes the timeline as its span list, in recorded order.
+func (tl *Timeline) MarshalJSON() ([]byte, error) {
+	out := make([]spanJSON, len(tl.spans))
+	for i, s := range tl.spans {
+		out[i] = spanJSON{Phase: s.Phase, Start: s.Start, Finish: s.Finish, Open: s.open}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a timeline persisted by MarshalJSON.
+func (tl *Timeline) UnmarshalJSON(b []byte) error {
+	var in []spanJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	tl.spans = make([]*Span, len(in))
+	for i, s := range in {
+		tl.spans[i] = &Span{Phase: s.Phase, Start: s.Start, Finish: s.Finish, open: s.Open}
+	}
+	return nil
 }
 
 // SortSpans orders spans by (start, phase) for stable test assertions.

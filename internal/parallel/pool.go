@@ -1,0 +1,104 @@
+// Package parallel provides a small bounded worker pool for CPU-bound
+// fan-out: N goroutines drain an indexed task list, a panic in any task is
+// captured and returned as an error (with the stack it carried), and a
+// context cancellation stops new tasks from starting. The experiment driver
+// uses it to run independent simulations concurrently — each task owns its
+// own sim.Env, so the pool needs no shared-state machinery beyond the index
+// feed.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic recovered inside a pool task so the caller can
+// distinguish "task panicked" from "task returned an error", re-panic if it
+// wants the old behaviour, and log the original stack.
+type PanicError struct {
+	Index int    // task index that panicked
+	Value any    // the recovered value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v", e.Index, e.Value)
+}
+
+// Workers clamps n to a sane pool size: n if positive, else GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(0..n-1) on up to workers goroutines (GOMAXPROCS when
+// workers <= 0) and blocks until every started task finished. The first
+// task error or captured panic cancels dispatch — tasks already running
+// complete, tasks not yet started are skipped — and is returned. A nil ctx
+// is treated as context.Background(); a ctx cancellation likewise stops
+// dispatch and surfaces as ctx.Err().
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64 // next task index to claim
+		stop     atomic.Bool  // set on first failure: stop claiming tasks
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+
+	runOne := func(i int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runOne(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	const n = 100
+	var done [n]atomic.Bool
+	if err := ForEach(context.Background(), 8, n, func(i int) error {
+		if done[i].Swap(true) {
+			return fmt.Errorf("task %d ran twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), workers, 50, func(i int) error {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", p, workers)
+	}
+}
+
+func TestForEachDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(7); w != 7 {
+		t.Fatalf("Workers(7) = %d", w)
+	}
+	// And ForEach accepts workers <= 0 without spinning up unbounded goroutines.
+	if err := ForEach(context.Background(), 0, 4, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 1, 100, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Single worker: dispatch must stop right after the failing task.
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d tasks after error with 1 worker, want 4", got)
+	}
+}
+
+func TestForEachCapturesPanic(t *testing.T) {
+	err := ForEach(context.Background(), 4, 10, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 5 || pe.Value != "kaboom" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic stack/message not captured: %v", err)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	var once sync.Once
+	err := ForEach(ctx, 2, 1000, func(i int) error {
+		started.Add(1)
+		once.Do(cancel)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s > 10 {
+		t.Fatalf("%d tasks started after cancellation", s)
+	}
+}
+
+func TestForEachConcurrentStress(t *testing.T) {
+	// Exercised under -race by CI: many workers hammering shared counters
+	// through the pool must not race.
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 16, 500, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(500 * 499 / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
