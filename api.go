@@ -12,6 +12,7 @@ import (
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 	"onepass/internal/workloads"
 )
 
@@ -76,7 +77,19 @@ type (
 	DocConfig = gen.DocConfig
 	// Snapshot is one early answer (HOP snapshots, hot-key early emits).
 	Snapshot = engine.Snapshot
+	// ProgressPoint is one sample of the progress-vs-accuracy series.
+	ProgressPoint = engine.ProgressPoint
+	// NodeSeries is one node's sampled CPU/iowait/disk series.
+	NodeSeries = engine.NodeSeries
+	// TraceSink receives structured trace events during a run.
+	TraceSink = trace.Sink
+	// TraceLog is the in-memory trace sink with Chrome-trace and Gantt
+	// renderers.
+	TraceLog = trace.Log
 )
+
+// NewTraceLog returns an empty in-memory trace log to pass as Config.Trace.
+func NewTraceLog() *TraceLog { return trace.NewLog() }
 
 // Workload constructors (the paper's Table I tasks).
 var (
@@ -134,6 +147,12 @@ type Config struct {
 	// payloads entirely (sink mode for large benchmark runs).
 	RetainOutput  bool
 	DiscardOutput bool
+
+	// Trace, when non-nil, receives every structured event the run emits
+	// (task spans, spills, shuffle transfers, early answers, ...). Leaving
+	// it nil keeps the run on the zero-cost path and its results
+	// byte-identical to untraced ones.
+	Trace TraceSink
 }
 
 // DefaultConfig mirrors the paper's testbed at simulation scale.
@@ -192,6 +211,7 @@ func Run(cfg Config, data Dataset, job Job) (*Result, error) {
 		return nil, err
 	}
 	rt := engine.NewRuntime(env, cl, d)
+	rt.Tracer = cfg.Trace
 
 	job.InputPath = data.Path
 	if job.OutputPath == "" {

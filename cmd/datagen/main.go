@@ -13,25 +13,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
 	"onepass/internal/gen"
+	"onepass/internal/textfmt"
 )
-
-func parseSize(s string) (int64, error) {
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(s, "GB"):
-		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
-	case strings.HasSuffix(s, "MB"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
-	case strings.HasSuffix(s, "KB"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-	return n * mult, err
-}
 
 func main() {
 	log.SetFlags(0)
@@ -45,11 +30,11 @@ func main() {
 	urls := flag.Int("urls", 0, "override distinct URLs (clicks)")
 	flag.Parse()
 
-	total, err := parseSize(*size)
+	total, err := textfmt.ParseSize(*size)
 	if err != nil {
 		log.Fatalf("bad -size: %v", err)
 	}
-	block, err := parseSize(*blockSize)
+	block, err := textfmt.ParseSize(*blockSize)
 	if err != nil {
 		log.Fatalf("bad -block: %v", err)
 	}

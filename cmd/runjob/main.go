@@ -4,32 +4,19 @@
 //
 //	runjob -workload sessionization -engine hash-incremental -size 64MB
 //	runjob -workload per-user-count -engine hadoop -ssd
+//	runjob -workload sessionization -engine hash-hotkey -trace run.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
 	"onepass"
+	"onepass/internal/textfmt"
 )
-
-func parseSize(s string) (int64, error) {
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(s, "GB"):
-		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
-	case strings.HasSuffix(s, "MB"):
-		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
-	case strings.HasSuffix(s, "KB"):
-		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-	return n * mult, err
-}
 
 func main() {
 	log.SetFlags(0)
@@ -46,6 +33,9 @@ func main() {
 	memory := flag.String("taskmem", "", "per-task memory budget (default: node memory / 4)")
 	streamSecs := flag.Float64("stream", 0, "stream the input in over this many virtual seconds (0 = preloaded)")
 	progress := flag.Bool("progress", false, "print task-completion progress")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
+	jsonOut := flag.Bool("json", false, "print the full engine result as JSON instead of the text report")
+	gantt := flag.Bool("gantt", false, "render the trace as a plain-text Gantt chart (implies tracing)")
 	flag.Parse()
 
 	cfg := onepass.DefaultConfig()
@@ -56,17 +46,23 @@ func main() {
 	cfg.DiscardOutput = true
 
 	var err error
-	if cfg.BlockSize, err = parseSize(*blockSize); err != nil {
+	if cfg.BlockSize, err = textfmt.ParseSize(*blockSize); err != nil {
 		log.Fatalf("bad -block: %v", err)
 	}
-	inputSize, err := parseSize(*size)
+	inputSize, err := textfmt.ParseSize(*size)
 	if err != nil {
 		log.Fatalf("bad -size: %v", err)
 	}
 	if *memory != "" {
-		if cfg.MemoryPerTask, err = parseSize(*memory); err != nil {
+		if cfg.MemoryPerTask, err = textfmt.ParseSize(*memory); err != nil {
 			log.Fatalf("bad -taskmem: %v", err)
 		}
+	}
+
+	var tl *onepass.TraceLog
+	if *tracePath != "" || *gantt {
+		tl = onepass.NewTraceLog()
+		cfg.Trace = tl
 	}
 
 	switch *engineName {
@@ -115,6 +111,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tl.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tl.Len(), *tracePath)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		if *gantt {
+			fmt.Fprint(os.Stderr, tl.Gantt(72))
+		}
+		return
+	}
+
 	fmt.Println(res.Summary())
 	fmt.Println()
 	fmt.Println("Task timeline:")
@@ -136,5 +158,21 @@ func main() {
 		fmt.Println()
 		fmt.Printf("Early answers: %d snapshots, first at %v\n", len(res.Snapshots), res.Snapshots[0].At)
 	}
-	os.Exit(0)
+	if len(res.Progress) > 0 {
+		fmt.Println()
+		fmt.Println("Progress vs accuracy (map fraction -> output coverage):")
+		for _, pp := range res.Progress {
+			cov := 0.0
+			if res.OutputPairs > 0 {
+				cov = float64(pp.Pairs) / float64(res.OutputPairs)
+			}
+			fmt.Printf("  t=%-12v map=%5.1f%%  pairs=%-9d coverage=%5.1f%%  spilled=%d\n",
+				pp.At, 100*pp.MapFraction, pp.Pairs, 100*cov, pp.SpilledBytes)
+		}
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Println("Trace Gantt:")
+		fmt.Print(tl.Gantt(72))
+	}
 }

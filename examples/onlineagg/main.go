@@ -69,6 +69,28 @@ func main() {
 		s := res2.Snapshots[0]
 		fmt.Printf("  early approximate answers: %d hot keys at %.2fs\n", s.Pairs, s.At.Seconds())
 	}
+
+	// The progress-vs-accuracy series: how output coverage accumulated
+	// against map progress — the trade-off curve behind "early answers".
+	if len(res2.Progress) > 0 {
+		fmt.Println("\n  progress vs accuracy:")
+		fmt.Println("    time      map     coverage  spilled")
+		step := len(res2.Progress)/8 + 1
+		for i := 0; i < len(res2.Progress); i += step {
+			pp := res2.Progress[i]
+			printProgress(pp, res2.OutputPairs)
+		}
+		printProgress(res2.Progress[len(res2.Progress)-1], res2.OutputPairs)
+	}
+}
+
+func printProgress(pp onepass.ProgressPoint, totalPairs int) {
+	cov := 0.0
+	if totalPairs > 0 {
+		cov = float64(pp.Pairs) / float64(totalPairs)
+	}
+	fmt.Printf("    %7.2fs  %5.1f%%  %7.1f%%  %s\n",
+		pp.At.Seconds(), 100*pp.MapFraction, 100*cov, fmtBytes(float64(pp.SpilledBytes)))
 }
 
 func fmtBytes(b float64) string {

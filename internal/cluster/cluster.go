@@ -221,6 +221,24 @@ func (n *Node) IowaitIntegral() float64 {
 	return n.iowaitIntegral
 }
 
+// DiskBytesRead returns cumulative bytes read across the node's devices.
+func (n *Node) DiskBytesRead() float64 {
+	t := n.dfsDev.BytesRead()
+	if n.scratchDev != n.dfsDev {
+		t += n.scratchDev.BytesRead()
+	}
+	return t
+}
+
+// DiskBytesWritten returns cumulative bytes written across the node's devices.
+func (n *Node) DiskBytesWritten() float64 {
+	t := n.dfsDev.BytesWritten()
+	if n.scratchDev != n.dfsDev {
+		t += n.scratchDev.BytesWritten()
+	}
+	return t
+}
+
 // Aggregates across compute nodes, for the cluster-level plots.
 
 // CPUBusyIntegral sums compute-node core-seconds of use.
@@ -254,10 +272,7 @@ func (c *Cluster) TotalCores() int {
 func (c *Cluster) DiskBytesRead() float64 {
 	t := 0.0
 	for _, n := range c.nodes {
-		t += n.dfsDev.BytesRead()
-		if n.scratchDev != n.dfsDev {
-			t += n.scratchDev.BytesRead()
-		}
+		t += n.DiskBytesRead()
 	}
 	return t
 }
@@ -266,10 +281,7 @@ func (c *Cluster) DiskBytesRead() float64 {
 func (c *Cluster) DiskBytesWritten() float64 {
 	t := 0.0
 	for _, n := range c.nodes {
-		t += n.dfsDev.BytesWritten()
-		if n.scratchDev != n.dfsDev {
-			t += n.scratchDev.BytesWritten()
-		}
+		t += n.DiskBytesWritten()
 	}
 	return t
 }

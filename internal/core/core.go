@@ -10,6 +10,7 @@ import (
 	"onepass/internal/hashlib"
 	"onepass/internal/kv"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 )
 
 // Mode selects the reduce-side hash technique (§V's three options).
@@ -126,6 +127,7 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 		costs.UpdateNsPerRecord = engine.DefaultCosts().UpdateNsPerRecord
 	}
 	res := &engine.Result{Job: job.Name, Engine: "hash-" + opts.Mode.String()}
+	rt.EngineLabel = res.Engine
 	oc := rt.NewOutputCollector(&job, res)
 	reg := rt.NewRegistry(len(blocks))
 	channels := rt.NewPushChannels(job.Reducers, opts.BackpressureBytes)
@@ -164,6 +166,9 @@ type reduceCtx struct {
 	agg     engine.Aggregator
 	mapComb bool
 	budget  int64
+	// mapProgress reports the fraction of map tasks completed, for the
+	// progress-vs-accuracy series; nil when no registry view is attached.
+	mapProgress func() float64
 	// hashAt returns the hash function for recursion level l (level 0 is
 	// the in-memory grouping hash).
 	hashAt func(l int) *hashlib.Func
@@ -197,6 +202,17 @@ func (rc *reduceCtx) chargeFold(p *sim.Proc, n int, bytes int64) {
 	rc.rt.Counters.Add(engine.CtrHashOps, float64(n))
 }
 
+// noteProgress records one progress-vs-accuracy point: current map progress,
+// the cumulative pairs made available to the consumer, and the run's
+// cumulative reduce-side spill volume.
+func (rc *reduceCtx) noteProgress(p *sim.Proc, pairs int) {
+	frac := -1.0
+	if rc.mapProgress != nil {
+		frac = rc.mapProgress()
+	}
+	rc.oc.NoteProgress(p.Now(), frac, pairs, int64(rc.rt.Counters.Get(engine.CtrReduceSpillBytes)))
+}
+
 // emitFinal emits one key's result and charges finalization CPU.
 func (rc *reduceCtx) emitFinal(p *sim.Proc, key, state []byte) {
 	rc.agg.Final(key, state, func(k, v []byte) {
@@ -211,6 +227,9 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 	oc *engine.OutputCollector, r int, opts *Options, agg engine.Aggregator, mapCombined bool) {
 
 	rc := newReduceCtx(rt, job, costs, node, oc, r, opts, agg, mapCombined)
+	rc.mapProgress = func() float64 {
+		return float64(reg.Completed()) / float64(reg.TotalMaps())
+	}
 	var impl reducerImpl
 	switch opts.Mode {
 	case HybridHash:
@@ -228,6 +247,7 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 	// push (backpressure fallback) or did not push (pull-only mode).
 	done := rt.NewWaitGroup(fmt.Sprintf("hash-red-%d", r), 2)
 	shuffleSpan := rt.Timeline.Begin(engine.SpanShuffle, p.Now())
+	rt.Emit(trace.PhaseStart, engine.SpanShuffle, node.ID, r, 0)
 
 	rt.Env.Go(fmt.Sprintf("hash-red-%d-pull", r), func(pp *sim.Proc) {
 		seen := 0
@@ -261,11 +281,14 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 	done.Done()
 	done.Wait(p)
 	shuffleSpan.End(p.Now())
+	rt.Emit(trace.PhaseEnd, engine.SpanShuffle, node.ID, r, 0)
 
 	reduceSpan := rt.Timeline.Begin(engine.SpanReduce, p.Now())
+	rt.Emit(trace.PhaseStart, engine.SpanReduce, node.ID, r, 0)
 	impl.finalize(p)
 	oc.Close(p, r)
 	reduceSpan.End(p.Now())
+	rt.Emit(trace.PhaseEnd, engine.SpanReduce, node.ID, r, 0)
 }
 
 // decodePairs walks an encoded chunk.

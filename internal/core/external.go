@@ -8,6 +8,7 @@ import (
 	"onepass/internal/kv"
 	"onepass/internal/sim"
 	"onepass/internal/sortmerge"
+	"onepass/internal/trace"
 )
 
 // spillSet is the on-disk side of all three hash techniques: K bucket files
@@ -72,6 +73,11 @@ func (ss *spillSet) flushBucket(p *sim.Proc, b int) {
 	ss.bufs[b] = nil
 	ss.Bytes += n
 	ss.rc.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(n))
+	if ss.rc.rt.Tracing() {
+		ss.rc.rt.Emit(trace.Spill, "hash-bucket", ss.rc.node.ID, ss.rc.r, 0,
+			trace.Num("bytes", float64(n)), trace.Num("bucket", float64(b)),
+			trace.Num("level", float64(ss.level)))
+	}
 }
 
 // hasData reports whether bucket b holds anything.
@@ -103,6 +109,10 @@ type entry struct {
 // recursively.
 func (ss *spillSet) processBucket(p *sim.Proc, b int, extra []entry, final func(key, state []byte)) {
 	ss.flushBucket(p, b)
+	if ss.rc.rt.Tracing() {
+		ss.rc.rt.Emit(trace.MergePass, "external-bucket", ss.rc.node.ID, ss.rc.r, 0,
+			trace.Num("bucket", float64(b)), trace.Num("level", float64(ss.level)))
+	}
 	nextLevel := ss.level + 1
 	st := newStateTable(ss.rc.hashAt(nextLevel), ss.rc.agg, ss.rc.mapComb)
 

@@ -10,6 +10,7 @@ import (
 	"onepass/internal/hashlib"
 	"onepass/internal/kv"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 )
 
 // runMapTask is the hash engine's map side (§V's two options): (1) with no
@@ -54,12 +55,18 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 			return t
 		}
 		flushTables := func() {
+			flushed := 0
 			for r, tb := range tables {
 				tb.iterate(func(k, s []byte) bool {
 					addPair(r, k, s)
+					flushed++
 					return true
 				})
 				tables[r] = newStateTable(hashAtShared(1), agg, false)
+			}
+			if rt.Tracing() {
+				rt.Emit(trace.CombineFlush, "map-combine", node.ID, b.Index, 0,
+					trace.Num("states", float64(flushed)))
 			}
 		}
 		n := buf.Len()
@@ -105,6 +112,10 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 	outBytes := out.File.Size()
 	node.Compute(p, engine.Dur(float64(outBytes), costs.SerializeNsPerByte), engine.PhaseMapFn)
 	rt.Counters.Add(engine.CtrMapWrittenBytes, float64(outBytes))
+	if rt.Tracing() {
+		rt.Emit(trace.OutputWrite, "map-output", node.ID, b.Index, 0,
+			trace.Num("bytes", float64(outBytes)))
+	}
 	// Completion is registered only after the push loop below resolves
 	// which partitions were fully delivered, so pull-side reducers never
 	// see a stale Pushed flag.
@@ -138,6 +149,10 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 		lf := store.Create(fmt.Sprintf("%s/hashmap-%05d/leftover-%05d", job.Name, b.Index, r), false)
 		store.Append(p, lf, leftover)
 		rt.Counters.Add(engine.CtrMapSpillBytes, float64(len(leftover)))
+		if rt.Tracing() {
+			rt.Emit(trace.Spill, "leftover", node.ID, b.Index, 0,
+				trace.Num("bytes", float64(len(leftover))), trace.Num("reducer", float64(r)))
+		}
 		out.Leftover[r] = lf
 	}
 	// Every partition is now either push-delivered or staged in a leftover

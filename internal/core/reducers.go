@@ -6,6 +6,7 @@ import (
 	"onepass/internal/kv"
 	"onepass/internal/sim"
 	"onepass/internal/sketch"
+	"onepass/internal/trace"
 )
 
 // --- Hybrid Hash (§V reduce technique 1) ---------------------------------
@@ -143,6 +144,7 @@ func (ir *incReducer) evictBucket(p *sim.Proc) {
 
 func (ir *incReducer) ingest(p *sim.Proc, chunk []byte) {
 	var bytes int64
+	early := 0
 	n := decodePairs(chunk, func(key, val []byte) {
 		ir.st.fold(key, val, formIncoming)
 		bytes += int64(len(key) + len(val))
@@ -156,6 +158,7 @@ func (ir *incReducer) ingest(p *sim.Proc, chunk []byte) {
 					// Incremental processing: the answer leaves the system
 					// the moment its condition is met (§IV point 3).
 					ir.rc.emitFinal(p, key, s)
+					early++
 				}
 			}
 		}
@@ -167,6 +170,15 @@ func (ir *incReducer) ingest(p *sim.Proc, chunk []byte) {
 		}
 	})
 	ir.rc.chargeFold(p, n, bytes)
+	if early > 0 {
+		// One progress point per chunk with threshold emits, not per pair,
+		// to bound the series.
+		ir.rc.noteProgress(p, ir.rc.oc.OutputPairs())
+		if ir.rc.rt.Tracing() {
+			ir.rc.rt.Emit(trace.EarlyAnswer, "threshold-emit", ir.rc.node.ID, ir.rc.r, 0,
+				trace.Num("pairs", float64(early)))
+		}
+	}
 }
 
 func (ir *incReducer) finalize(p *sim.Proc) {
@@ -282,6 +294,11 @@ func (hr *hotReducer) sweepCold(p *sim.Proc) {
 	pass(func(k []byte) bool { est, _, tracked := hr.sk.Estimate(k); return tracked && est < thresh })
 	pass(func(k []byte) bool { return true })
 	hr.rc.rt.Counters.Add("core.hotkey.evictions", float64(evicted))
+	if hr.rc.rt.Tracing() {
+		hr.rc.rt.Emit(trace.HotKeyEvict, "sweep-cold", hr.rc.node.ID, hr.rc.r, 0,
+			trace.Num("evicted", float64(evicted)),
+			trace.Num("residentKeys", float64(hr.st.len())))
+	}
 }
 
 func (hr *hotReducer) ingest(p *sim.Proc, chunk []byte) {
@@ -327,6 +344,16 @@ func (hr *hotReducer) finalize(p *sim.Proc) {
 		}
 		hr.rc.oc.NoteSnapshot(p.Now(), 1.0, pairs)
 		hr.rc.rt.Counters.Add("core.hotkey.early.pairs", float64(pairs))
+		// The early-answer coverage point: hot-key pairs available now, vs
+		// the exact answer still behind the cold-data reconciliation below.
+		hr.rc.noteProgress(p, hr.rc.oc.OutputPairs()+pairs)
+		if hr.rc.rt.Tracing() {
+			hr.rc.rt.Emit(trace.EarlyAnswer, "approximate-early", hr.rc.node.ID, hr.rc.r, 0,
+				trace.Num("pairs", float64(pairs)),
+				trace.Num("spilledBytes", float64(hr.spill.Bytes)))
+		}
 	}
 	finalizeWithSpill(p, hr.rc, hr.st, hr.spill)
+	// Completion point: exact pairs out, final spill volume.
+	hr.rc.noteProgress(p, hr.rc.oc.OutputPairs())
 }

@@ -7,6 +7,7 @@ import (
 	"onepass/internal/dfs"
 	"onepass/internal/kv"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 )
 
 // Partitioner assigns a key to one of n reduce partitions.
@@ -107,5 +108,10 @@ func (rt *Runtime) WriteMapOutput(p *sim.Proc, node *cluster.Node, job *Job, tas
 	// §III.B.2: how long the synchronous map-output write takes relative to
 	// the whole map task (the paper measured 1.3 s of 21.6 s ≈ 6%).
 	rt.Counters.Add(CtrMapOutputWriteSeconds, p.Now().Sub(writeStart).Seconds())
+	if rt.Tracing() {
+		rt.Emit(trace.OutputWrite, "map-output", node.ID, taskID, 0,
+			trace.Num("bytes", float64(total)),
+			trace.Num("seconds", p.Now().Sub(writeStart).Seconds()))
+	}
 	return out
 }

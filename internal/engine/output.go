@@ -5,6 +5,7 @@ import (
 
 	"onepass/internal/kv"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 )
 
 // OutputCollector funnels reducer emits into DFS part files and the Result,
@@ -59,6 +60,7 @@ func (oc *OutputCollector) Emit(p *sim.Proc, r int, nodeID int, key, val []byte)
 	if !oc.res.haveFirst {
 		oc.res.haveFirst = true
 		oc.res.FirstOutputAt = p.Now()
+		oc.rt.Emit(trace.FirstOutput, "first-output", nodeID, r, 0)
 	}
 	oc.res.OutputPairs++
 	oc.res.OutputBytes += int64(len(enc))
@@ -83,3 +85,15 @@ func (oc *OutputCollector) Close(p *sim.Proc, r int) {
 func (oc *OutputCollector) NoteSnapshot(at sim.Time, fraction float64, pairs int) {
 	oc.res.Snapshots = append(oc.res.Snapshots, Snapshot{At: at, Fraction: fraction, Pairs: pairs})
 }
+
+// NoteProgress appends one progress-vs-accuracy point. Pairs and
+// SpilledBytes are cumulative; engines batch calls (per emission burst, not
+// per pair) to bound the series.
+func (oc *OutputCollector) NoteProgress(at sim.Time, mapFraction float64, pairs int, spilledBytes int64) {
+	oc.res.Progress = append(oc.res.Progress, ProgressPoint{
+		At: at, MapFraction: mapFraction, Pairs: pairs, SpilledBytes: spilledBytes,
+	})
+}
+
+// OutputPairs returns the pairs emitted so far.
+func (oc *OutputCollector) OutputPairs() int { return oc.res.OutputPairs }

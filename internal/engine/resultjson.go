@@ -20,9 +20,10 @@ type resultJSON struct {
 	OutputPairs int               `json:"outputPairs"`
 	OutputBytes int64             `json:"outputBytes"`
 
-	FirstOutputAt sim.Time   `json:"firstOutputAt"`
-	HaveFirst     bool       `json:"haveFirst"`
-	Snapshots     []Snapshot `json:"snapshots,omitempty"`
+	FirstOutputAt sim.Time        `json:"firstOutputAt"`
+	HaveFirst     bool            `json:"haveFirst"`
+	Snapshots     []Snapshot      `json:"snapshots,omitempty"`
+	Progress      []ProgressPoint `json:"progress,omitempty"`
 
 	CPU      *metrics.CPUAccount `json:"cpu"`
 	Counters *metrics.Counters   `json:"counters"`
@@ -32,6 +33,7 @@ type resultJSON struct {
 	BytesRead    *metrics.Series   `json:"bytesRead"`
 	BytesWritten *metrics.Series   `json:"bytesWritten"`
 	NetBytes     *metrics.Series   `json:"netBytes"`
+	PerNode      []*NodeSeries     `json:"perNode,omitempty"`
 	Timeline     *metrics.Timeline `json:"timeline"`
 }
 
@@ -42,9 +44,11 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Job: r.Job, Engine: r.Engine, Mk: r.Makespan,
 		Output: r.Output, OutputPairs: r.OutputPairs, OutputBytes: r.OutputBytes,
 		FirstOutputAt: r.FirstOutputAt, HaveFirst: r.haveFirst, Snapshots: r.Snapshots,
-		CPU: r.CPU, Counters: r.Counters,
+		Progress: r.Progress,
+		CPU:      r.CPU, Counters: r.Counters,
 		CPUUtil: r.CPUUtil, Iowait: r.Iowait, BytesRead: r.BytesRead,
-		BytesWritten: r.BytesWritten, NetBytes: r.NetBytes, Timeline: r.Timeline,
+		BytesWritten: r.BytesWritten, NetBytes: r.NetBytes, PerNode: r.PerNode,
+		Timeline: r.Timeline,
 	})
 }
 
@@ -58,9 +62,11 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 		Job: rj.Job, Engine: rj.Engine, Makespan: rj.Mk,
 		Output: rj.Output, OutputPairs: rj.OutputPairs, OutputBytes: rj.OutputBytes,
 		FirstOutputAt: rj.FirstOutputAt, haveFirst: rj.HaveFirst, Snapshots: rj.Snapshots,
-		CPU: rj.CPU, Counters: rj.Counters,
+		Progress: rj.Progress,
+		CPU:      rj.CPU, Counters: rj.Counters,
 		CPUUtil: rj.CPUUtil, Iowait: rj.Iowait, BytesRead: rj.BytesRead,
-		BytesWritten: rj.BytesWritten, NetBytes: rj.NetBytes, Timeline: rj.Timeline,
+		BytesWritten: rj.BytesWritten, NetBytes: rj.NetBytes, PerNode: rj.PerNode,
+		Timeline: rj.Timeline,
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"onepass/internal/dfs"
 	"onepass/internal/metrics"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 )
 
 // Runtime bundles the simulated substrate a job runs on plus the metric
@@ -19,6 +20,12 @@ type Runtime struct {
 	Timeline *metrics.Timeline
 	Counters *metrics.Counters
 
+	// Tracer, when non-nil, receives every structured trace event; nil (the
+	// default) keeps tracing free of cost — emission sites guard with
+	// Tracing(). EngineLabel stamps events with the engine that owns the run.
+	Tracer      trace.Sink
+	EngineLabel string
+
 	sampler *metrics.Sampler
 	// start and cpuBase make results job-relative when several jobs chain
 	// on one shared cluster/virtual clock.
@@ -30,6 +37,35 @@ type Runtime struct {
 	BytesRead    *metrics.Series
 	BytesWritten *metrics.Series
 	NetBytes     *metrics.Series
+	// PerNode holds one sampled series set per node — the paper's per-node
+	// CPU/iowait/disk plots next to the cluster aggregates above.
+	PerNode []*NodeSeries
+}
+
+// NodeSeries is one node's sampled series set.
+type NodeSeries struct {
+	Node         int             `json:"node"`
+	CPUUtil      *metrics.Series `json:"cpuUtil"`
+	Iowait       *metrics.Series `json:"iowait"`
+	BytesRead    *metrics.Series `json:"bytesRead"`
+	BytesWritten *metrics.Series `json:"bytesWritten"`
+}
+
+// Tracing reports whether a trace sink is attached; emission sites use it to
+// skip argument construction entirely on the nil-sink fast path.
+func (rt *Runtime) Tracing() bool { return rt.Tracer != nil }
+
+// Emit records one trace event at the current virtual instant, stamped with
+// the runtime's engine label. No-op without a sink, but callers on hot paths
+// should guard with Tracing() to avoid building args.
+func (rt *Runtime) Emit(typ trace.Type, name string, node, task, attempt int, args ...trace.Arg) {
+	if rt.Tracer == nil {
+		return
+	}
+	rt.Tracer.Emit(trace.Event{
+		At: rt.Env.Now(), Type: typ, Name: name, Engine: rt.EngineLabel,
+		Node: node, Task: task, Attempt: attempt, Args: args,
+	})
 }
 
 // SampleInterval is the metrics bucket width: 1 virtual second, like the
@@ -67,6 +103,22 @@ func NewRuntimeSampled(env *sim.Env, c *cluster.Cluster, d *dfs.DFS, sample sim.
 		func() float64 { return c.DiskBytesWritten() }, 1)
 	rt.NetBytes = rt.sampler.TrackDelta("net-bytes", "bytes",
 		func() float64 { return c.Net.BytesTransferred() }, 1)
+	for _, n := range c.Nodes() {
+		n := n
+		id := "-n" + fmt.Sprint(n.ID)
+		nodeCores := float64(n.Cores())
+		rt.PerNode = append(rt.PerNode, &NodeSeries{
+			Node: n.ID,
+			CPUUtil: rt.sampler.TrackDelta("cpu-util"+id, "fraction",
+				func() float64 { return n.CPUBusyIntegral() }, 1/(nodeCores*interval)),
+			Iowait: rt.sampler.TrackDelta("cpu-iowait"+id, "fraction",
+				func() float64 { return n.IowaitIntegral() }, 1/(nodeCores*interval)),
+			BytesRead: rt.sampler.TrackDelta("disk-bytes-read"+id, "bytes",
+				func() float64 { return n.DiskBytesRead() }, 1),
+			BytesWritten: rt.sampler.TrackDelta("disk-bytes-written"+id, "bytes",
+				func() float64 { return n.DiskBytesWritten() }, 1),
+		})
+	}
 	return rt
 }
 
@@ -137,6 +189,11 @@ type Result struct {
 	haveFirst     bool
 	Snapshots     []Snapshot
 
+	// Progress is the progress-vs-accuracy series for engines that answer
+	// early (hash-hotkey, threshold queries): one point per emission batch
+	// relating map progress to output coverage and spill volume.
+	Progress []ProgressPoint
+
 	CPU      *metrics.CPUAccount
 	Counters *metrics.Counters
 
@@ -145,7 +202,24 @@ type Result struct {
 	BytesRead    *metrics.Series
 	BytesWritten *metrics.Series
 	NetBytes     *metrics.Series
+	PerNode      []*NodeSeries
 	Timeline     *metrics.Timeline
+}
+
+// ProgressPoint is one sample of the one-pass "early answers" story: how far
+// the map phase had progressed when output pairs were emitted, and how much
+// intermediate data had been spilled by then. Coverage at a point is
+// Pairs / the run's final OutputPairs.
+type ProgressPoint struct {
+	At sim.Time `json:"at"`
+	// MapFraction is completed map tasks over total, in [0,1] (-1 when the
+	// emitting engine has no map-progress view).
+	MapFraction float64 `json:"mapFraction"`
+	// Pairs is the cumulative output pairs emitted up to and including this
+	// point.
+	Pairs int `json:"pairs"`
+	// SpilledBytes is cumulative intermediate data forced to disk so far.
+	SpilledBytes int64 `json:"spilledBytes"`
 }
 
 // Shared counter names.
@@ -180,9 +254,17 @@ const (
 	CtrMapTasksSpeculativeWasted = "map.tasks.speculative.wasted"
 )
 
+// CtrTimelineForceClosed counts spans an engine left open at FinishResult
+// time; non-zero means a Begin without a matching End (clamped to the
+// horizon rather than left reporting Finish == 0).
+const CtrTimelineForceClosed = "timeline.spans.forceclosed"
+
 // FinishResult snapshots runtime state into a Result after Env.Run has
 // drained.
 func (rt *Runtime) FinishResult(res *Result) {
+	if n := rt.Timeline.CloseOpenAt(rt.Env.Now()); n > 0 {
+		rt.Counters.Add(CtrTimelineForceClosed, float64(n))
+	}
 	res.Makespan = rt.Env.Now().Sub(rt.start)
 	res.CPU = rt.Cluster.CPUAccount()
 	res.CPU.Sub(rt.cpuBase)
@@ -192,6 +274,7 @@ func (rt *Runtime) FinishResult(res *Result) {
 	res.BytesRead = rt.BytesRead
 	res.BytesWritten = rt.BytesWritten
 	res.NetBytes = rt.NetBytes
+	res.PerNode = rt.PerNode
 	res.Timeline = rt.Timeline
 }
 

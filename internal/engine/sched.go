@@ -6,6 +6,7 @@ import (
 	"onepass/internal/cluster"
 	"onepass/internal/dfs"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 )
 
 // DefaultMapSlots is Hadoop's classic 2 concurrent map tasks per node.
@@ -103,9 +104,12 @@ func (rt *Runtime) RunMaps(job *Job, blocks []*dfs.Block, task func(p *sim.Proc,
 		for s := 0; s < job.mapSlots(); s++ {
 			rt.Env.Go(fmt.Sprintf("map-slot-n%d-%d", node.ID, s), func(p *sim.Proc) {
 				run := func(fl *flight) {
+					attempt := fl.attempts - 1
 					span := rt.Timeline.Begin(SpanMap, p.Now())
+					rt.Emit(trace.TaskStart, SpanMap, node.ID, fl.b.Index, attempt)
 					task(p, node, fl.b)
 					span.End(p.Now())
+					rt.Emit(trace.TaskFinish, SpanMap, node.ID, fl.b.Index, attempt)
 					if !fl.done {
 						fl.done = true
 						rt.Counters.Add(CtrMapTasks, 1)
@@ -165,7 +169,9 @@ func (rt *Runtime) RunReduces(job *Job, task func(p *sim.Proc, node *cluster.Nod
 		rt.Env.Go(fmt.Sprintf("reduce-%d-n%d", r, node.ID), func(p *sim.Proc) {
 			slot := slots[node.ID]
 			slot.Acquire(p, 1)
+			rt.Emit(trace.TaskStart, SpanReduce, node.ID, r, 0)
 			task(p, node, r)
+			rt.Emit(trace.TaskFinish, SpanReduce, node.ID, r, 0)
 			slot.Release(1)
 			rt.Counters.Add(CtrReduceTasks, 1)
 			wg.Done()

@@ -5,6 +5,7 @@ import (
 
 	"onepass/internal/disk"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 )
 
 // MapOutput is one completed map task's partitioned output, persisted on
@@ -228,19 +229,33 @@ func (g *Registry) FetchPart(p *sim.Proc, readerNode int, out *MapOutput, part i
 		delete(g.reexecWait, out.TaskID)
 		tr.Broadcast()
 		g.rt.Counters.Add(CtrMapTasksReexecuted, 1)
+		g.rt.Emit(trace.Fault, "map-reexec", readerNode, -1, 0,
+			trace.Num("map", float64(out.TaskID)))
 	}
 	size := out.PartSize(part)
 	if size == 0 {
 		return nil
 	}
 	data := out.PartData(part)
-	if p.Now().Sub(out.CompletedAt) > g.FreshWindow {
+	aged := p.Now().Sub(out.CompletedAt) > g.FreshWindow
+	if aged {
 		// Aged out of the mapper's memory: read back from its disk, as a
 		// random access competing with everything else on that spindle.
 		out.Store.Device().Read(p, size, false)
 	}
 	g.rt.Cluster.Net.Transfer(p, out.Node, readerNode, size)
 	g.rt.Counters.Add(CtrShuffleBytes, float64(size))
+	if g.rt.Tracing() {
+		diskRead := 0.0
+		if aged {
+			diskRead = 1
+		}
+		// part doubles as the reducer index under every engine's
+		// partition→reducer identity mapping.
+		g.rt.Emit(trace.ShuffleTransfer, "shuffle-transfer", readerNode, part, 0,
+			trace.Str("mode", "pull"), trace.Num("map", float64(out.TaskID)),
+			trace.Num("bytes", float64(size)), trace.Num("diskRead", diskRead))
+	}
 	return data
 }
 
@@ -293,6 +308,11 @@ func (pc *PushChannel) TryPush(p *sim.Proc, fromNode, toNode, mapTask int, data 
 	}
 	pc.rt.Cluster.Net.Transfer(p, fromNode, toNode, int64(len(data)))
 	pc.rt.Counters.Add(CtrShuffleBytes, float64(len(data)))
+	if pc.rt.Tracing() {
+		pc.rt.Emit(trace.ShuffleTransfer, "shuffle-transfer", fromNode, mapTask, 0,
+			trace.Str("mode", "push"), trace.Num("reducer", float64(pc.reducer)),
+			trace.Num("bytes", float64(len(data))))
+	}
 	pc.queue = append(pc.queue, PushChunk{FromNode: fromNode, MapTask: mapTask, Data: data})
 	pc.queuedBytes += int64(len(data))
 	pc.trig.Broadcast()

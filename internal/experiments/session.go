@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -14,6 +18,7 @@ import (
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
 	"onepass/internal/sim"
+	"onepass/internal/trace"
 	"onepass/internal/workloads"
 )
 
@@ -67,6 +72,12 @@ type Session struct {
 	// Log, if set, receives progress lines. It may be called from multiple
 	// goroutines; Session serializes the calls.
 	Log func(format string, args ...interface{})
+	// TraceDir, when non-empty, attaches a trace sink to every run this
+	// session actually executes (cache misses) and writes each as a Chrome
+	// trace-event file under the directory, named by workload, engine, and
+	// a hash of the full spec. Tracing is observational: results are
+	// byte-identical with or without it.
+	TraceDir string
 
 	mu      sync.Mutex
 	results map[runSpec]*runEntry
@@ -186,6 +197,11 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 		panic(err)
 	}
 	rt := engine.NewRuntimeSampled(env, cl, d, s.sampleInterval())
+	var tl *trace.Log
+	if s.TraceDir != "" {
+		tl = trace.NewLog()
+		rt.Tracer = tl
+	}
 
 	job := w.Job
 	job.InputPath = "input/" + w.Name
@@ -231,8 +247,35 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s/%s: %v", spec.Engine, spec.Workload, err))
 	}
+	if tl != nil {
+		if terr := s.writeTrace(spec, tl); terr != nil {
+			s.logf("  trace write failed: %v", terr)
+		}
+	}
 	s.logf("  done: makespan=%v cpu=%.1fs", res.Makespan, res.CPU.Total())
 	return res
+}
+
+// writeTrace persists one executed run's trace under TraceDir. The file name
+// hashes the JSON spec so distinct parameterizations of the same
+// workload/engine pair never collide.
+func (s *Session) writeTrace(spec runSpec, tl *trace.Log) error {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	h := fnv.New32a()
+	h.Write(b)
+	name := fmt.Sprintf("%s-%s-%08x.trace.json", spec.Workload, spec.Engine, h.Sum32())
+	f, err := os.Create(filepath.Join(s.TraceDir, name))
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // segmentLimit scales Hadoop's in-memory merge threshold (1000 segments at

@@ -18,6 +18,7 @@ import (
 	"onepass/internal/hashlib"
 	"onepass/internal/sim"
 	"onepass/internal/sortmerge"
+	"onepass/internal/trace"
 )
 
 // PartitionSeed fixes the hash partitioner across all engines so a key maps
@@ -70,6 +71,7 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 		fanIn = sortmerge.DefaultFanIn
 	}
 	costs := JobCosts(&job)
+	rt.EngineLabel = "hadoop"
 	res := &engine.Result{Job: job.Name, Engine: "hadoop"}
 	oc := rt.NewOutputCollector(&job, res)
 	reg := rt.NewRegistry(len(blocks))
@@ -90,6 +92,7 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 			rt.Cluster.Node(fault.Node).Fail()
 			reg.FailNode(fault.Node)
 			rt.Counters.Add("faults.injected", 1)
+			rt.Emit(trace.Fault, "node-failure", fault.Node, -1, 0)
 		})
 	}
 
@@ -151,6 +154,7 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 
 	// Shuffle: pull partitions from completed mappers as they appear.
 	shuffleSpan := rt.Timeline.Begin(engine.SpanShuffle, p.Now())
+	rt.Emit(trace.PhaseStart, engine.SpanShuffle, node.ID, r, 0)
 	seen := 0
 	for {
 		reg.WaitBeyond(p, seen)
@@ -170,6 +174,7 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 		}
 	}
 	shuffleSpan.End(p.Now())
+	rt.Emit(trace.PhaseEnd, engine.SpanShuffle, node.ID, r, 0)
 
 	rs.Finish(p, oc)
 }

@@ -8,6 +8,7 @@ import (
 	"onepass/internal/kv"
 	"onepass/internal/sim"
 	"onepass/internal/sortmerge"
+	"onepass/internal/trace"
 )
 
 // The reduce-side sort-merge machinery is exported because MapReduce Online
@@ -101,6 +102,10 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 	rs.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(run.Size()))
 	rs.Merger.AddRun(run)
 	span.End(p.Now())
+	if rs.rt.Tracing() {
+		rs.rt.Emit(trace.Spill, "reduce-spill", rs.node.ID, rs.r, 0,
+			trace.Num("bytes", float64(run.Size())), trace.Num("spill", float64(rs.spillSeq)))
+	}
 }
 
 // MergePass runs one charged multi-pass merge step.
@@ -116,6 +121,10 @@ func (rs *ReduceSide) MergePass(p *sim.Proc) {
 	rs.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(dBytes))
 	rs.rt.Counters.Add(engine.CtrMergePasses, 1)
 	span.End(p.Now())
+	if rs.rt.Tracing() {
+		rs.rt.Emit(trace.MergePass, "merge-pass", rs.node.ID, rs.r, 0,
+			trace.Num("bytes", float64(dBytes)), trace.Num("runsLeft", float64(rs.Merger.Runs())))
+	}
 }
 
 // Finish completes the blocking tail: multi-pass merge down to one wave,
@@ -125,6 +134,7 @@ func (rs *ReduceSide) Finish(p *sim.Proc, oc *engine.OutputCollector) {
 		rs.MergePass(p)
 	}
 	span := rs.rt.Timeline.Begin(engine.SpanReduce, p.Now())
+	rs.rt.Emit(trace.PhaseStart, engine.SpanReduce, rs.node.ID, rs.r, 0)
 	streams := rs.Merger.FinalStreams(p)
 	streams = append(streams, rs.Acc.Streams()...)
 	cmps, inputs := MergeGroupReduce(streams, rs.job, func(k, v []byte) {
@@ -137,6 +147,7 @@ func (rs *ReduceSide) Finish(p *sim.Proc, oc *engine.OutputCollector) {
 	rs.Merger.DeleteAll()
 	oc.Close(p, rs.r)
 	span.End(p.Now())
+	rs.rt.Emit(trace.PhaseEnd, engine.SpanReduce, rs.node.ID, rs.r, 0)
 }
 
 // MergeGroupReduce merges sorted streams, groups equal keys, and applies

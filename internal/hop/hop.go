@@ -21,6 +21,7 @@ import (
 	"onepass/internal/kv"
 	"onepass/internal/sim"
 	"onepass/internal/sortmerge"
+	"onepass/internal/trace"
 )
 
 // Options tunes the engine.
@@ -76,6 +77,7 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 	}
 	opts.defaults()
 	costs := hadoop.JobCosts(&job)
+	rt.EngineLabel = "hop"
 	res := &engine.Result{Job: job.Name, Engine: "hop"}
 	oc := rt.NewOutputCollector(&job, res)
 	reg := rt.NewRegistry(len(blocks)) // progress signal for snapshots
@@ -147,6 +149,10 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 			f := store.Create(fmt.Sprintf("%s/hop-map-%05d/stash-%04d", job.Name, b.Index, spillSeq), false)
 			store.Append(p, f, enc)
 			rt.Counters.Add(engine.CtrMapSpillBytes, float64(len(enc)))
+			if rt.Tracing() {
+				rt.Emit(trace.Spill, "map-stash", node.ID, b.Index, 0,
+					trace.Num("bytes", float64(len(enc))), trace.Num("reducer", float64(r)))
+			}
 			channels[r].WaitSpace(p)
 			store.Device().Read(p, f.Size(), false)
 			store.Delete(f.Name())
@@ -201,6 +207,7 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 	snapIdx := 0
 
 	shuffleSpan := rt.Timeline.Begin(engine.SpanShuffle, p.Now())
+	rt.Emit(trace.PhaseStart, engine.SpanShuffle, node.ID, r, 0)
 	for {
 		chunk, ok := pc.Pop(p)
 		if !ok {
@@ -215,6 +222,7 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 		}
 	}
 	shuffleSpan.End(p.Now())
+	rt.Emit(trace.PhaseEnd, engine.SpanShuffle, node.ID, r, 0)
 
 	rs.Finish(p, oc)
 }
@@ -246,6 +254,10 @@ func emitSnapshot(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engi
 	rt.Counters.Add("hop.snapshot.pairs", float64(pairs))
 	oc.NoteSnapshot(p.Now(), frac, pairs)
 	span.End(p.Now())
+	if rt.Tracing() {
+		rt.Emit(trace.EarlyAnswer, "snapshot", node.ID, r, 0,
+			trace.Num("fraction", frac), trace.Num("pairs", float64(pairs)))
+	}
 }
 
 // snapshotSink writes snapshot output to its own DFS file (discarded

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"onepass/internal/sim"
+)
+
+func TestTimelineOpenSpanDetection(t *testing.T) {
+	tl := NewTimeline()
+	a := tl.Begin("map", 0)
+	b := tl.Begin("reduce", sim.Time(sim.Second))
+	a.End(sim.Time(2 * sim.Second))
+
+	if a.Open() {
+		t.Fatal("ended span reports Open")
+	}
+	if !b.Open() {
+		t.Fatal("live span reports closed")
+	}
+	open := tl.OpenSpans()
+	if len(open) != 1 || open[0] != b {
+		t.Fatalf("OpenSpans = %v, want just the reduce span", open)
+	}
+	err := tl.CheckClosed()
+	if err == nil {
+		t.Fatal("CheckClosed ignored an open span")
+	}
+	if !strings.Contains(err.Error(), "reduce@") {
+		t.Fatalf("CheckClosed error %q does not name the open span", err)
+	}
+
+	if n := tl.CloseOpenAt(sim.Time(5 * sim.Second)); n != 1 {
+		t.Fatalf("CloseOpenAt closed %d spans, want 1", n)
+	}
+	if b.Open() || b.Finish != sim.Time(5*sim.Second) {
+		t.Fatalf("span not clamped to horizon: open=%v finish=%v", b.Open(), b.Finish)
+	}
+	if err := tl.CheckClosed(); err != nil {
+		t.Fatalf("CheckClosed after CloseOpenAt: %v", err)
+	}
+	// Closed span durations must be untouched by the force-close.
+	if a.Finish != sim.Time(2*sim.Second) {
+		t.Fatalf("closed span finish moved to %v", a.Finish)
+	}
+	if n := tl.CloseOpenAt(sim.Time(9 * sim.Second)); n != 0 {
+		t.Fatalf("second CloseOpenAt closed %d spans, want 0", n)
+	}
+}
+
+func TestTimelineCheckClosedEmpty(t *testing.T) {
+	if err := NewTimeline().CheckClosed(); err != nil {
+		t.Fatalf("empty timeline: %v", err)
+	}
+}
+
+// The sampler's contract is one final sample on its first tick after Stop, so
+// work done in the last partial interval is still captured — for both delta
+// and gauge probes.
+func TestSamplerFinalPartialInterval(t *testing.T) {
+	env := sim.New()
+	s := NewSampler(env, sim.Second)
+	cum := 0.0
+	inst := 0.0
+	deltas := s.TrackDelta("d", "v", func() float64 { return cum }, 1)
+	gauges := s.TrackGauge("g", "v", func() float64 { return inst })
+	s.Start()
+	env.Go("driver", func(p *sim.Proc) {
+		cum, inst = 4, 4
+		// Land strictly inside the third interval: updates at exactly a tick
+		// boundary would race the sampler's same-instant sample.
+		p.Sleep(2*sim.Second + sim.Second/4)
+		cum, inst = 7, 11 // last partial interval's activity
+		p.Sleep(sim.Second / 4)
+		s.Stop() // at 2.5s; sampler's final tick is at 3s
+	})
+	env.Run()
+
+	if deltas.Len() != 3 {
+		t.Fatalf("delta series has %d buckets, want 3: %v", deltas.Len(), deltas.Values())
+	}
+	if deltas.At(2) != 3 {
+		t.Fatalf("final partial interval delta = %v, want 3", deltas.At(2))
+	}
+	// No samples may be lost: the per-bucket deltas must sum to the probe's
+	// final cumulative value.
+	total := 0.0
+	for _, v := range deltas.Values() {
+		total += v
+	}
+	if total != cum {
+		t.Fatalf("delta series sums to %v, probe ended at %v", total, cum)
+	}
+	if gauges.Len() != 3 || gauges.At(2) != 11 {
+		t.Fatalf("gauge series = %v, want final bucket 11", gauges.Values())
+	}
+}

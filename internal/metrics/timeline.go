@@ -46,6 +46,49 @@ func (s *Span) End(t sim.Time) {
 // Spans returns all recorded spans.
 func (tl *Timeline) Spans() []*Span { return tl.spans }
 
+// Open reports whether the span is still open.
+func (s *Span) Open() bool { return s.open }
+
+// OpenSpans returns the spans still open, in recorded order.
+func (tl *Timeline) OpenSpans() []*Span {
+	var out []*Span
+	for _, s := range tl.spans {
+		if s.open {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// CheckClosed returns an error naming any span still open. An un-End()ed
+// span reports Finish == 0 and silently corrupts duration math, so result
+// rendering should check (or CloseOpenAt) before trusting the timeline.
+func (tl *Timeline) CheckClosed() error {
+	open := tl.OpenSpans()
+	if len(open) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(open))
+	for _, s := range open {
+		names = append(names, fmt.Sprintf("%s@%v", s.Phase, s.Start))
+	}
+	return fmt.Errorf("metrics: %d open span(s): %s", len(open), strings.Join(names, ", "))
+}
+
+// CloseOpenAt force-closes every open span at time t and returns how many it
+// closed — the close-at helper for result finalization, where a leaked span
+// should clamp to the horizon rather than report Finish == 0.
+func (tl *Timeline) CloseOpenAt(t sim.Time) int {
+	n := 0
+	for _, s := range tl.spans {
+		if s.open {
+			s.End(t)
+			n++
+		}
+	}
+	return n
+}
+
 // Phases returns the distinct phase names in first-seen order.
 func (tl *Timeline) Phases() []string {
 	seen := make(map[string]bool)

@@ -1,0 +1,36 @@
+package textfmt
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"4096", 4096},
+		{"512KB", 512 << 10},
+		{"64MB", 64 << 20},
+		{"1GB", 1 << 30},
+		{"2GB", 2 << 30},
+		{" 16MB", 16 << 20},
+		{"7 KB", 7 << 10}, // inner space trimmed after suffix strip
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Fatalf("ParseSize(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizeMalformed(t *testing.T) {
+	for _, in := range []string{"", "MB", "12TB", "1.5GB", "abc", "GB64", "64mb"} {
+		if n, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want error", in, n)
+		}
+	}
+}

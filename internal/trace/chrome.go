@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteChrome exports the log in Chrome trace-event JSON (the format
+// chrome://tracing and ui.perfetto.dev load): one process per node, one
+// thread track per task, "B"/"E" duration pairs for Start/End events and
+// thread-scoped instants for everything else. Virtual nanoseconds map to the
+// format's microsecond timestamps.
+//
+// The encoding is hand-rolled in recorded order with ordered args, so the
+// bytes are a pure function of the event sequence — the property the golden
+// determinism test pins.
+func (l *Log) WriteChrome(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+
+	// Metadata: name each process (node) and thread (task track) in
+	// first-seen order.
+	seenPid := make(map[int]bool)
+	type pidTid struct {
+		pid int
+		tid int64
+	}
+	seenTid := make(map[pidTid]bool)
+	for _, ev := range l.events {
+		if !seenPid[ev.Node] {
+			seenPid[ev.Node] = true
+			emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + strconv.Itoa(ev.Node) +
+				",\"args\":{\"name\":" + strconv.Quote("node "+strconv.Itoa(ev.Node)) + "}}")
+		}
+		tid, label := trackOf(ev)
+		if pt := (pidTid{ev.Node, tid}); !seenTid[pt] {
+			seenTid[pt] = true
+			emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + strconv.Itoa(ev.Node) +
+				",\"tid\":" + strconv.FormatInt(tid, 10) +
+				",\"args\":{\"name\":" + strconv.Quote(label) + "}}")
+		}
+	}
+
+	for _, ev := range l.events {
+		emit(chromeEvent(ev))
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func chromeEvent(ev Event) string {
+	name := ev.Name
+	if name == "" {
+		name = string(ev.Type)
+	}
+	ph := "i"
+	if isSpan, opens := ev.Type.Span(); isSpan {
+		if opens {
+			ph = "B"
+		} else {
+			ph = "E"
+		}
+	}
+	tid, _ := trackOf(ev)
+
+	var b strings.Builder
+	b.WriteString("{\"name\":")
+	b.WriteString(strconv.Quote(name))
+	b.WriteString(",\"cat\":")
+	b.WriteString(strconv.Quote(string(ev.Type)))
+	b.WriteString(",\"ph\":\"")
+	b.WriteString(ph)
+	b.WriteString("\",\"ts\":")
+	b.WriteString(formatTS(int64(ev.At)))
+	if ph == "i" {
+		b.WriteString(",\"s\":\"t\"")
+	}
+	b.WriteString(",\"pid\":")
+	b.WriteString(strconv.Itoa(ev.Node))
+	b.WriteString(",\"tid\":")
+	b.WriteString(strconv.FormatInt(tid, 10))
+	b.WriteString(",\"args\":{")
+	b.WriteString("\"engine\":")
+	b.WriteString(strconv.Quote(ev.Engine))
+	b.WriteString(",\"node\":")
+	b.WriteString(strconv.Itoa(ev.Node))
+	b.WriteString(",\"task\":")
+	b.WriteString(strconv.Itoa(ev.Task))
+	if ev.Attempt > 0 {
+		b.WriteString(",\"attempt\":")
+		b.WriteString(strconv.Itoa(ev.Attempt))
+	}
+	for _, a := range ev.Args {
+		b.WriteString(",")
+		b.WriteString(strconv.Quote(a.Key))
+		b.WriteString(":")
+		if a.IsStr {
+			b.WriteString(strconv.Quote(a.Str))
+		} else {
+			b.WriteString(formatNum(a.Num))
+		}
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+// formatTS renders virtual nanoseconds as the trace format's microseconds,
+// keeping sub-microsecond precision without floating point: "1234.567".
+func formatTS(ns int64) string {
+	us, rem := ns/1000, ns%1000
+	if rem == 0 {
+		return strconv.FormatInt(us, 10)
+	}
+	s := strconv.FormatInt(rem, 10)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return strconv.FormatInt(us, 10) + "." + strings.TrimRight(s, "0")
+}
+
+// formatNum renders a float argument deterministically (shortest round-trip
+// form, as encoding/json does).
+func formatNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"onepass/internal/sim"
+)
+
+// Gantt renders the trace as a terminal Gantt chart: one row per task track,
+// grouped by node, a bar spanning each task's lifetime, and '•' marks where
+// engine internals (spills, merge passes, evictions, early answers) hit that
+// track — a textual Perfetto for quick looks at a run.
+func (l *Log) Gantt(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	var horizon sim.Time
+	for _, ev := range l.events {
+		if ev.At > horizon {
+			horizon = ev.At
+		}
+	}
+	if horizon == 0 || len(l.events) == 0 {
+		return "(no events)\n"
+	}
+
+	type rowKey struct {
+		node int
+		tid  int64
+	}
+	type span struct{ start, end sim.Time }
+	type row struct {
+		key    rowKey
+		label  string
+		spans  []span
+		opens  []sim.Time
+		marks  []sim.Time
+		phases []span // phase-level sub-spans (shuffle, merge, ...)
+	}
+	rows := make(map[rowKey]*row)
+	get := func(ev Event) *row {
+		tid, label := trackOf(ev)
+		k := rowKey{ev.Node, tid}
+		r := rows[k]
+		if r == nil {
+			r = &row{key: k, label: fmt.Sprintf("n%-2d %s", ev.Node, label)}
+			rows[k] = r
+		}
+		return r
+	}
+	for _, ev := range l.events {
+		r := get(ev)
+		switch ev.Type {
+		case TaskStart:
+			r.opens = append(r.opens, ev.At)
+		case TaskFinish:
+			if n := len(r.opens); n > 0 {
+				r.spans = append(r.spans, span{r.opens[n-1], ev.At})
+				r.opens = r.opens[:n-1]
+			}
+		case PhaseStart:
+			r.phases = append(r.phases, span{ev.At, -1})
+		case PhaseEnd:
+			for i := len(r.phases) - 1; i >= 0; i-- {
+				if r.phases[i].end < 0 {
+					r.phases[i].end = ev.At
+					break
+				}
+			}
+		default:
+			r.marks = append(r.marks, ev.At)
+		}
+	}
+
+	ordered := make([]*row, 0, len(rows))
+	for _, r := range rows {
+		ordered = append(ordered, r)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].key.node != ordered[j].key.node {
+			return ordered[i].key.node < ordered[j].key.node
+		}
+		return ordered[i].key.tid < ordered[j].key.tid
+	})
+
+	col := func(t sim.Time) int {
+		c := int(int64(t) * int64(width-1) / int64(horizon))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	labelW := 0
+	for _, r := range ordered {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  0s%*s\n", labelW, "virtual time", width-2+len(horizon.String()), horizon)
+	for _, r := range ordered {
+		cells := make([]rune, width)
+		for i := range cells {
+			cells[i] = '·'
+		}
+		fill := func(s span, glyph rune) {
+			if s.end < 0 {
+				s.end = horizon
+			}
+			for c := col(s.start); c <= col(s.end); c++ {
+				cells[c] = glyph
+			}
+		}
+		for _, s := range r.spans {
+			fill(s, '█')
+		}
+		for _, t := range r.opens { // never finished: draw to horizon
+			fill(span{t, horizon}, '█')
+		}
+		for _, s := range r.phases {
+			fill(s, '▒')
+		}
+		for _, t := range r.marks {
+			cells[col(t)] = '•'
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, r.label, string(cells))
+	}
+	return b.String()
+}
