@@ -8,6 +8,7 @@ import (
 	"onepass/internal/dfs"
 	"onepass/internal/disk"
 	"onepass/internal/engine"
+	"onepass/internal/faults"
 	"onepass/internal/gen"
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
@@ -86,7 +87,32 @@ type (
 	// TraceLog is the in-memory trace sink with Chrome-trace and Gantt
 	// renderers.
 	TraceLog = trace.Log
+	// Fault is one scheduled injection (node failure, disk slowdown, NIC
+	// degradation, or straggler).
+	Fault = faults.Fault
+	// FaultSchedule is a deterministic set of faults to inject into a run.
+	FaultSchedule = faults.Schedule
+	// Duration is virtual simulated time (fault offsets, makespans).
+	Duration = sim.Duration
 )
+
+// Fault kinds, re-exported for building schedules programmatically.
+const (
+	NodeFailure = faults.NodeFailure
+	DiskSlow    = faults.DiskSlow
+	NetDegrade  = faults.NetDegrade
+	Straggler   = faults.Straggler
+)
+
+// ParseFaults parses a comma-separated fault schedule in the CLI grammar
+// kind@T[+W]:nN[xF], e.g. "fail@30s:n3,disk-slow@10s+20s:n1x8".
+func ParseFaults(s string) (FaultSchedule, error) { return faults.Parse(s) }
+
+// ChaosFaults derives a pseudo-random but fully seed-determined schedule:
+// one node failure plus a few degradations within the first 2/3 of horizon.
+func ChaosFaults(seed int64, nodes int, horizon sim.Duration) FaultSchedule {
+	return faults.Chaos(seed, nodes, horizon)
+}
 
 // NewTraceLog returns an empty in-memory trace log to pass as Config.Trace.
 func NewTraceLog() *TraceLog { return trace.NewLog() }
@@ -153,6 +179,11 @@ type Config struct {
 	// it nil keeps the run on the zero-cost path and its results
 	// byte-identical to untraced ones.
 	Trace TraceSink
+
+	// Faults is the deterministic fault schedule to inject during the run.
+	// All engines honor it; the same schedule and input yield byte-identical
+	// grouped output with and without faults.
+	Faults FaultSchedule
 }
 
 // DefaultConfig mirrors the paper's testbed at simulation scale.
@@ -230,14 +261,18 @@ func Run(cfg Config, data Dataset, job Job) (*Result, error) {
 	job.RetainOutput = cfg.RetainOutput
 	job.DiscardOutput = cfg.DiscardOutput
 
+	if err := cfg.Faults.Validate(len(cl.Nodes())); err != nil {
+		return nil, fmt.Errorf("onepass: %w", err)
+	}
 	switch cfg.Engine {
 	case Hadoop:
-		return hadoop.Run(rt, job, hadoop.Options{FanIn: cfg.FanIn})
+		return hadoop.Run(rt, job, hadoop.Options{FanIn: cfg.FanIn, Faults: cfg.Faults})
 	case MapReduceOnline:
 		return hop.Run(rt, job, hop.Options{
 			FanIn:            cfg.FanIn,
 			ChunkBytes:       cfg.ChunkBytes,
 			DisableSnapshots: cfg.DisableSnapshots,
+			Faults:           cfg.Faults,
 		})
 	case HashHybrid, HashIncremental, HashHotKey:
 		mode := core.HybridHash
@@ -253,6 +288,7 @@ func Run(cfg Config, data Dataset, job Job) (*Result, error) {
 			SpillBuckets:     cfg.SpillBuckets,
 			HotKeyCounters:   cfg.HotKeyCounters,
 			ApproximateEarly: cfg.ApproximateEarly,
+			Faults:           cfg.Faults,
 		})
 	default:
 		return nil, fmt.Errorf("onepass: unknown engine %v", cfg.Engine)

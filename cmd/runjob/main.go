@@ -36,6 +36,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	jsonOut := flag.Bool("json", false, "print the full engine result as JSON instead of the text report")
 	gantt := flag.Bool("gantt", false, "render the trace as a plain-text Gantt chart (implies tracing)")
+	faultSpec := flag.String("fault", "",
+		"fault schedule: comma-separated kind@T[+W]:nN[xF], kinds fail|disk-slow|net-slow|straggler (e.g. 'fail@30s:n3,disk-slow@10s+20s:n1x8')")
+	faultSeed := flag.Int64("fault-seed", 0, "derive a chaos fault schedule from this seed (ignored when -fault is set)")
 	flag.Parse()
 
 	cfg := onepass.DefaultConfig()
@@ -105,6 +108,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "  %s %d/%d\n", phase, done, total)
 			}
 		}
+	}
+	if *faultSpec != "" {
+		if cfg.Faults, err = onepass.ParseFaults(*faultSpec); err != nil {
+			log.Fatalf("bad -fault: %v", err)
+		}
+	} else if *faultSeed != 0 {
+		// Derive the chaos horizon from a fault-free run of the same job, so
+		// every fault lands while the job is actually running.
+		base, err := onepass.Run(cfg, data, job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = onepass.ChaosFaults(*faultSeed, *nodes, base.Makespan)
+		fmt.Fprintf(os.Stderr, "chaos schedule (seed %d): %s\n", *faultSeed, cfg.Faults.String())
 	}
 	res, err := onepass.Run(cfg, data, job)
 	if err != nil {

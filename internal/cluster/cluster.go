@@ -72,7 +72,8 @@ type Node struct {
 	lastChange     sim.Time
 	iowaitIntegral float64
 
-	failed bool
+	failed  bool
+	cpuSlow float64
 }
 
 // Cluster is the full simulated testbed.
@@ -196,8 +197,30 @@ func (n *Node) Compute(p *sim.Proc, d sim.Duration, phase string) {
 	if d <= 0 {
 		return
 	}
+	if n.cpuSlow > 1 {
+		d = sim.Duration(float64(d) * n.cpuSlow)
+	}
 	n.cores.Use(p, 1, d)
 	n.cpuByPhase.Add(phase, d)
+}
+
+// SetCPUSlowdown scales all subsequent CPU work on the node by factor — the
+// straggler fault. Factors below 1 reset to full speed. Work already holding
+// a core is unaffected.
+func (n *Node) SetCPUSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	n.cpuSlow = factor
+}
+
+// SetDiskSlowdown scales service times on every device the node owns — the
+// disk-degradation fault. Factors below 1 reset to full speed.
+func (n *Node) SetDiskSlowdown(factor float64) {
+	n.dfsDev.SetSlowdown(factor)
+	if n.scratchDev != n.dfsDev {
+		n.scratchDev.SetSlowdown(factor)
+	}
 }
 
 // Fail marks the node as dead: schedulers stop assigning work to it and

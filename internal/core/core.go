@@ -6,6 +6,7 @@ import (
 	"onepass/internal/cluster"
 	"onepass/internal/dfs"
 	"onepass/internal/engine"
+	"onepass/internal/faults"
 	"onepass/internal/hadoop"
 	"onepass/internal/hashlib"
 	"onepass/internal/kv"
@@ -72,6 +73,8 @@ type Options struct {
 	// as an approximate snapshot the moment all input has arrived, before
 	// the exact completion pass (§V's early answers for hot keys).
 	ApproximateEarly bool
+	// Faults is the deterministic fault schedule to inject during the run.
+	Faults faults.Schedule
 }
 
 func (o *Options) defaults() {
@@ -133,6 +136,22 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 	channels := rt.NewPushChannels(job.Reducers, opts.BackpressureBytes)
 	partition := hadoop.Partitioner()
 	agg, mapCombined := jobAggregator(&job)
+	// Fault tolerance: a lost output is recomputed from its DFS block on a
+	// surviving node; chunk building is deterministic, so the recovered
+	// output serves exactly the chunks that were never push-delivered.
+	blockByTask := make(map[int]*dfs.Block, len(blocks))
+	for _, b := range blocks {
+		blockByTask[b.Index] = b
+	}
+	reg.Reexec = func(p *sim.Proc, readerNode int, lost *engine.MapOutput) *engine.MapOutput {
+		node := rt.Cluster.Node(readerNode)
+		if node.Failed() {
+			node = survivingNode(rt)
+		}
+		return reexecMapOutput(rt, p, node, &job, costs, blockByTask[lost.TaskID],
+			partition, &opts, agg, mapCombined, lost)
+	}
+	rt.InstallFaults(opts.Faults, reg.FailNode)
 
 	rt.StartSampling()
 	mapsWG := rt.RunMaps(&job, blocks, func(p *sim.Proc, node *cluster.Node, b *dfs.Block) {
@@ -147,6 +166,7 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 			pc.Close()
 		}
 		redsWG.Wait(p)
+		rt.JobDone()
 		rt.StopSampling()
 	})
 	rt.Env.Run()
@@ -289,6 +309,16 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 	oc.Close(p, r)
 	reduceSpan.End(p.Now())
 	rt.Emit(trace.PhaseEnd, engine.SpanReduce, node.ID, r, 0)
+}
+
+// survivingNode returns the first compute node that has not failed.
+func survivingNode(rt *engine.Runtime) *cluster.Node {
+	for _, n := range rt.Cluster.ComputeNodes() {
+		if !n.Failed() {
+			return n
+		}
+	}
+	panic("core: no surviving compute node for re-execution")
 }
 
 // decodePairs walks an encoded chunk.

@@ -7,9 +7,11 @@ import (
 
 	"onepass/internal/engine"
 	"onepass/internal/enginetest"
+	"onepass/internal/faults"
 	"onepass/internal/gen"
 	"onepass/internal/hadoop"
 	"onepass/internal/kv"
+	"onepass/internal/sim"
 	"onepass/internal/workloads"
 )
 
@@ -311,5 +313,45 @@ func TestHotKeyEarlyAnswersApproximateButClose(t *testing.T) {
 	// point is they exist before the cold-completion pass.
 	if totalEarly >= res.OutputPairs {
 		t.Fatalf("early pairs %d should be a subset of final %d", totalEarly, res.OutputPairs)
+	}
+}
+
+func TestNodeFailureReexecutesLostMaps(t *testing.T) {
+	for _, mode := range []Mode{HybridHash, Incremental, HotKey} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			w := workloads.PerUserCount(smallClicks())
+			// Enough blocks that node 1 is still mapping when it dies; its
+			// persisted outputs and leftover files are lost and must be
+			// recomputed when reducers pull them.
+			f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 32 * 64 << 10})
+			res, err := Run(f.RT, f.Job, Options{Mode: mode,
+				Faults: faults.Schedule{Faults: []faults.Fault{
+					{Kind: faults.NodeFailure, Node: 1, At: 10 * sim.Millisecond}}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.CheckOutput(t, w, res)
+			if res.Counters.Get(engine.CtrFaultsInjected) != 1 {
+				t.Fatal("fault not injected")
+			}
+		})
+	}
+}
+
+func TestPullOnlyNodeFailureReexecutes(t *testing.T) {
+	// With push disabled every partition travels through the pull path, so a
+	// failure always forces re-execution of the dead node's completed maps.
+	w := workloads.PerUserCount(smallClicks())
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 32 * 64 << 10})
+	res, err := Run(f.RT, f.Job, Options{Mode: Incremental, DisablePush: true,
+		Faults: faults.Schedule{Faults: []faults.Fault{
+			{Kind: faults.NodeFailure, Node: 1, At: 20 * sim.Millisecond}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get(engine.CtrTasksReexecuted) == 0 {
+		t.Fatal("no map tasks were re-executed after the failure")
 	}
 }

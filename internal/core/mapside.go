@@ -25,6 +25,84 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 	channels []*engine.PushChannel, reg *engine.Registry, opts *Options,
 	agg engine.Aggregator, mapCombined bool) {
 
+	chunks := buildMapChunks(rt, p, node, job, costs, b, partition, opts, agg, mapCombined)
+	R := job.Reducers
+	// Persist the map output for fault tolerance as one indexed file
+	// (charging the synchronous write), then push.
+	store := node.ScratchStore()
+	out := engine.NewMapOutput(p, store,
+		fmt.Sprintf("%s/hashmap-%05d/file.out", job.Name, b.Index),
+		b.Index, node.ID, R,
+		func(r int) []byte {
+			var enc []byte
+			for _, c := range chunks[r] {
+				enc = append(enc, c...)
+			}
+			return enc
+		})
+	outBytes := out.File.Size()
+	node.Compute(p, engine.Dur(float64(outBytes), costs.SerializeNsPerByte), engine.PhaseMapFn)
+	rt.Counters.Add(engine.CtrMapWrittenBytes, float64(outBytes))
+	if rt.Tracing() {
+		rt.Emit(trace.OutputWrite, "map-output", node.ID, b.Index, 0,
+			trace.Num("bytes", float64(outBytes)))
+	}
+	// Completion is registered only after the push loop below resolves
+	// which partitions were fully delivered, so pull-side reducers never
+	// see a stale Pushed flag.
+	defer reg.Complete(out)
+
+	if opts.DisablePush {
+		return
+	}
+	// Eager push with a non-blocking fallback: the moment a reducer's queue
+	// refuses a chunk, the rest of that partition is staged as a "leftover"
+	// file the reducer pulls later. The mapper never stalls — unlike HOP's
+	// adaptive wait, the hash engine's push is best-effort because the
+	// persisted copy already guarantees delivery.
+	out.Leftover = make([]*disk.File, R)
+	for r := 0; r < R; r++ {
+		toNode := rt.ReducerNode(r).ID
+		var leftover []byte
+		for i, c := range chunks[r] {
+			if leftover == nil && channels[r].TryPush(p, node.ID, toNode, b.Index, i, c) {
+				// Delivered counts gate what a re-execution regenerates: a
+				// recovered output serves only the undelivered tail.
+				out.Delivered[r] = i + 1
+				continue
+			}
+			if leftover == nil {
+				leftover = make([]byte, 0, int64(len(chunks[r])-i)*opts.ChunkBytes)
+			}
+			leftover = append(leftover, c...)
+		}
+		if leftover == nil {
+			out.Pushed[r] = true
+			continue
+		}
+		lf := store.Create(fmt.Sprintf("%s/hashmap-%05d/leftover-%05d", job.Name, b.Index, r), false)
+		store.Append(p, lf, leftover)
+		rt.Counters.Add(engine.CtrMapSpillBytes, float64(len(leftover)))
+		if rt.Tracing() {
+			rt.Emit(trace.Spill, "leftover", node.ID, b.Index, 0,
+				trace.Num("bytes", float64(len(leftover))), trace.Num("reducer", float64(r)))
+		}
+		out.Leftover[r] = lf
+	}
+	// Every partition is now either push-delivered or staged in a leftover
+	// file; the persisted copy served its fault-tolerance write and can be
+	// released to bound host memory.
+	out.ReleaseFile()
+}
+
+// buildMapChunks runs the map-side data path and returns the per-partition
+// chunk lists. It is deterministic in the block and options, so a recovery
+// attempt on another node reproduces the exact chunk boundaries and
+// contents of the lost attempt.
+func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner, opts *Options,
+	agg engine.Aggregator, mapCombined bool) [][][]byte {
+
 	buf, err := rt.ExecuteMap(p, node, job, b, partition)
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
@@ -95,70 +173,41 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 			cur[r] = nil
 		}
 	}
+	return chunks
+}
 
-	// Persist the map output for fault tolerance as one indexed file
-	// (charging the synchronous write), then push.
-	store := node.ScratchStore()
-	out := engine.NewMapOutput(p, store,
-		fmt.Sprintf("%s/hashmap-%05d/file.out", job.Name, b.Index),
-		b.Index, node.ID, R,
+// reexecMapOutput re-runs a lost map task's data path on node and builds a
+// fresh output holding, per partition, only what the reducers still need:
+// nothing for fully-pushed partitions, and the undelivered chunk tail
+// (everything past lost.Delivered) for the rest.
+func reexecMapOutput(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
+	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner, opts *Options,
+	agg engine.Aggregator, mapCombined bool, lost *engine.MapOutput) *engine.MapOutput {
+
+	chunks := buildMapChunks(rt, p, node, job, costs, b, partition, opts, agg, mapCombined)
+	fresh := engine.NewMapOutput(p, node.ScratchStore(),
+		fmt.Sprintf("%s/hashmap-%05d/reexec", job.Name, lost.TaskID),
+		lost.TaskID, node.ID, job.Reducers,
 		func(r int) []byte {
+			if lost.WasPushed(r) {
+				return nil
+			}
+			skip := lost.Delivered[r]
+			if skip > len(chunks[r]) {
+				skip = len(chunks[r])
+			}
 			var enc []byte
-			for _, c := range chunks[r] {
+			for _, c := range chunks[r][skip:] {
 				enc = append(enc, c...)
 			}
 			return enc
 		})
-	outBytes := out.File.Size()
-	node.Compute(p, engine.Dur(float64(outBytes), costs.SerializeNsPerByte), engine.PhaseMapFn)
-	rt.Counters.Add(engine.CtrMapWrittenBytes, float64(outBytes))
-	if rt.Tracing() {
-		rt.Emit(trace.OutputWrite, "map-output", node.ID, b.Index, 0,
-			trace.Num("bytes", float64(outBytes)))
-	}
-	// Completion is registered only after the push loop below resolves
-	// which partitions were fully delivered, so pull-side reducers never
-	// see a stale Pushed flag.
-	defer reg.Complete(out)
-
-	if opts.DisablePush {
-		return
-	}
-	// Eager push with a non-blocking fallback: the moment a reducer's queue
-	// refuses a chunk, the rest of that partition is staged as a "leftover"
-	// file the reducer pulls later. The mapper never stalls — unlike HOP's
-	// adaptive wait, the hash engine's push is best-effort because the
-	// persisted copy already guarantees delivery.
-	out.Leftover = make([]*disk.File, R)
-	for r := 0; r < R; r++ {
-		toNode := rt.ReducerNode(r).ID
-		var leftover []byte
-		for i, c := range chunks[r] {
-			if leftover == nil && channels[r].TryPush(p, node.ID, toNode, b.Index, c) {
-				continue
-			}
-			if leftover == nil {
-				leftover = make([]byte, 0, int64(len(chunks[r])-i)*opts.ChunkBytes)
-			}
-			leftover = append(leftover, c...)
-		}
-		if leftover == nil {
-			out.Pushed[r] = true
-			continue
-		}
-		lf := store.Create(fmt.Sprintf("%s/hashmap-%05d/leftover-%05d", job.Name, b.Index, r), false)
-		store.Append(p, lf, leftover)
-		rt.Counters.Add(engine.CtrMapSpillBytes, float64(len(leftover)))
-		if rt.Tracing() {
-			rt.Emit(trace.Spill, "leftover", node.ID, b.Index, 0,
-				trace.Num("bytes", float64(len(leftover))), trace.Num("reducer", float64(r)))
-		}
-		out.Leftover[r] = lf
-	}
-	// Every partition is now either push-delivered or staged in a leftover
-	// file; the persisted copy served its fault-tolerance write and can be
-	// released to bound host memory.
-	out.ReleaseFile()
+	node.Compute(p, engine.Dur(float64(fresh.File.Size()), costs.SerializeNsPerByte), engine.PhaseMapFn)
+	// Chunks delivered before the failure stay delivered; the pull fetch of
+	// the recovered partition covers exactly the rest.
+	fresh.Pushed = append([]bool(nil), lost.Pushed...)
+	fresh.Delivered = append([]int(nil), lost.Delivered...)
+	return fresh
 }
 
 // hashAtShared returns hash family member i; the family is deterministic,

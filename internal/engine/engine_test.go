@@ -155,6 +155,46 @@ func TestRegistryFreshWindowSkipsSourceDisk(t *testing.T) {
 	}
 }
 
+func TestFetchPartRetriesWhenSourceDiesMidTransfer(t *testing.T) {
+	rt := testRuntime(3)
+	reg := rt.NewRegistry(1)
+	payload := bytes.Repeat([]byte{'x'}, 4<<20) // ~30ms transfer: room to die mid-flight
+	reg.Reexec = func(p *sim.Proc, readerNode int, lost *MapOutput) *MapOutput {
+		node := rt.Cluster.Node(2)
+		return NewMapOutput(p, node.ScratchStore(), "m0/reexec", lost.TaskID, node.ID, 1,
+			func(int) []byte { return payload })
+	}
+	var fetched []byte
+	rt.Env.Go("mapper", func(p *sim.Proc) {
+		store := rt.Cluster.Node(0).ScratchStore()
+		out := NewMapOutput(p, store, "m0", 0, 0, 1, func(int) []byte { return payload })
+		reg.Complete(out)
+	})
+	rt.Env.Go("reducer", func(p *sim.Proc) {
+		reg.WaitBeyond(p, 0)
+		out := reg.Out(0)
+		fetched = append([]byte(nil), reg.FetchPart(p, 1, out, 0)...)
+		out.ConsumePart(0)
+	})
+	rt.Env.Go("killer", func(p *sim.Proc) {
+		reg.WaitBeyond(p, 0)     // completion broadcast: the fetch is starting
+		p.Sleep(sim.Millisecond) // well inside the transfer
+		rt.Cluster.Node(0).Fail()
+		reg.FailNode(0)
+	})
+	rt.Env.Run()
+	if got := rt.Counters.Get(CtrShuffleRetries); got == 0 {
+		t.Fatal("mid-transfer death did not count a shuffle retry")
+	}
+	if got := rt.Counters.Get(CtrTasksReexecuted); got != 1 {
+		t.Fatalf("tasks.reexecuted = %v, want 1", got)
+	}
+	if !bytes.Equal(fetched, payload) {
+		t.Fatalf("fetched %d bytes, want the full %d-byte payload from the recovered attempt",
+			len(fetched), len(payload))
+	}
+}
+
 func TestPushChannelBackpressureAndOrder(t *testing.T) {
 	rt := testRuntime(2)
 	chans := rt.NewPushChannels(1, 100)
@@ -163,7 +203,7 @@ func TestPushChannelBackpressureAndOrder(t *testing.T) {
 	rt.Env.Go("producer", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
 			data := bytes.Repeat([]byte{byte('a' + i)}, 60)
-			for !pc.TryPush(p, 0, 1, i, data) {
+			for !pc.TryPush(p, 0, 1, i, 0, data) {
 				pc.WaitSpace(p)
 			}
 		}

@@ -64,6 +64,10 @@ func (oc *OutputCollector) Emit(p *sim.Proc, r int, nodeID int, key, val []byte)
 	}
 	oc.res.OutputPairs++
 	oc.res.OutputBytes += int64(len(enc))
+	// Summing per-pair hashes keeps the digest independent of emission
+	// order (reducers finish in nondeterministic-looking but seeded order)
+	// while still catching a duplicated or missing pair.
+	oc.res.OutputChecksum += pairHash(key, val)
 	oc.rt.Counters.Add(CtrOutputBytes, float64(len(enc)))
 	if oc.job.RetainOutput {
 		oc.res.Output[string(key)] = string(val)
@@ -97,3 +101,21 @@ func (oc *OutputCollector) NoteProgress(at sim.Time, mapFraction float64, pairs 
 
 // OutputPairs returns the pairs emitted so far.
 func (oc *OutputCollector) OutputPairs() int { return oc.res.OutputPairs }
+
+// pairHash digests one key/value pair with FNV-1a, with a separator so
+// ("ab","c") and ("a","bc") differ.
+func pairHash(key, val []byte) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime
+	}
+	h ^= 0xff
+	h *= prime
+	for _, b := range val {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

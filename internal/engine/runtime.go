@@ -32,6 +32,12 @@ type Runtime struct {
 	start   sim.Time
 	cpuBase *metrics.CPUAccount
 
+	// jobDone fires once when the engine declares the job complete; pending
+	// fault injectors wait on it so a fault scheduled past job completion
+	// cancels instead of extending virtual time.
+	jobDone  *sim.Trigger
+	finished bool
+
 	CPUUtil      *metrics.Series
 	Iowait       *metrics.Series
 	BytesRead    *metrics.Series
@@ -90,6 +96,7 @@ func NewRuntimeSampled(env *sim.Env, c *cluster.Cluster, d *dfs.DFS, sample sim.
 		start:    env.Now(),
 		cpuBase:  c.CPUAccount().Clone(),
 	}
+	rt.jobDone = env.NewTrigger("job-done")
 	rt.sampler = metrics.NewSampler(env, sample)
 	cores := float64(c.TotalCores())
 	interval := sample.Seconds()
@@ -130,6 +137,24 @@ func (rt *Runtime) InputBlocks(path string) ([]*dfs.Block, error) {
 		return blocks, nil
 	}
 	return rt.DFS.BlocksUnder(path)
+}
+
+// JobDone marks the job complete, releasing every process parked on the
+// completion trigger — in particular pending fault injectors, which would
+// otherwise keep the event heap alive and stretch the measured makespan.
+// Engines call it once, after their last barrier drains.
+func (rt *Runtime) JobDone() {
+	rt.finished = true
+	rt.jobDone.Broadcast()
+}
+
+// waitDoneOr blocks p until the job completes or d elapses, reporting true
+// when the job finished first.
+func (rt *Runtime) waitDoneOr(p *sim.Proc, d sim.Duration) bool {
+	if rt.finished {
+		return true
+	}
+	return rt.jobDone.WaitTimeout(p, d)
 }
 
 // StartSampling begins the periodic metric snapshots.
@@ -182,6 +207,11 @@ type Result struct {
 	Output      map[string]string
 	OutputPairs int
 	OutputBytes int64
+	// OutputChecksum is an order-independent digest of every output pair
+	// (sum of per-pair FNV hashes), so runs that discard output payloads can
+	// still be compared for semantic equality — the chaos sweep's proof that
+	// recovery reproduced the fault-free answer.
+	OutputChecksum uint64
 
 	// FirstOutputAt is when the first output pair was produced — the
 	// incremental-processing latency metric. Zero time means no output.
@@ -245,13 +275,23 @@ const (
 	// Table I's "Map output data" column (CtrMapOutputBytes counts raw
 	// emissions before combining).
 	CtrMapWrittenBytes = "map.output.written.bytes"
-	// CtrMapTasksReexecuted counts map tasks re-run after their output was
+	// CtrTasksReexecuted counts map tasks re-run after their output was
 	// lost to a node failure.
-	CtrMapTasksReexecuted = "map.tasks.reexecuted"
+	CtrTasksReexecuted = "tasks.reexecuted"
 	// CtrMapTasksSpeculative counts speculative (backup) attempts launched;
 	// the Wasted variant counts attempts that lost the commit race.
 	CtrMapTasksSpeculative       = "map.tasks.speculative"
 	CtrMapTasksSpeculativeWasted = "map.tasks.speculative.wasted"
+	// CtrFaultsInjected counts faults the injector actually fired (faults
+	// scheduled past job completion are canceled, not injected).
+	CtrFaultsInjected = "faults.injected"
+	// CtrShuffleRetries counts pull fetches abandoned mid-transfer because
+	// the source died, then retried after backoff.
+	CtrShuffleRetries = "shuffle.retries"
+	// CtrShuffleDupChunks counts push chunks a reducer discarded as
+	// duplicates of a (map task, seq) pair it already ingested — recovery
+	// re-pushes overlapping with the original delivery.
+	CtrShuffleDupChunks = "shuffle.duplicate.chunks"
 )
 
 // CtrTimelineForceClosed counts spans an engine left open at FinishResult

@@ -30,6 +30,11 @@ type MapOutput struct {
 	// Pushed marks partitions already delivered through push shuffle, so
 	// pull-side fetchers skip them.
 	Pushed []bool
+	// Delivered counts push chunks successfully delivered per partition.
+	// Re-execution after a node failure regenerates only the undelivered
+	// tail, so recovered pulls never duplicate chunks a reducer already
+	// ingested.
+	Delivered []int
 	// Lost marks the output as unavailable (its node failed); fetches
 	// trigger re-execution of the map task.
 	Lost bool
@@ -45,7 +50,7 @@ func NewMapOutput(p *sim.Proc, store *disk.Store, name string, taskID, node, par
 	out := &MapOutput{
 		TaskID: taskID, Node: node, Store: store,
 		PartOff: make([]int64, parts), PartLen: make([]int64, parts),
-		Pushed: make([]bool, parts),
+		Pushed: make([]bool, parts), Delivered: make([]int, parts),
 	}
 	var all []byte
 	for r := 0; r < parts; r++ {
@@ -127,10 +132,12 @@ type Registry struct {
 	// in the mapper's page cache; fetches within it skip the source disk
 	// read.
 	FreshWindow sim.Duration
-	// Reexec, when set, re-runs a lost map task on the given node and
-	// returns its fresh output — the fault-tolerance path that justifies
-	// persisting map output in the first place (§III.B.2).
-	Reexec func(p *sim.Proc, nodeID, taskID int) *MapOutput
+	// Reexec, when set, re-runs a lost map task and returns its fresh
+	// output — the fault-tolerance path that justifies persisting map
+	// output in the first place (§III.B.2). It receives the lost output so
+	// push engines can regenerate only the chunks that were never
+	// delivered (lost.Delivered / lost.Pushed).
+	Reexec func(p *sim.Proc, readerNode int, lost *MapOutput) *MapOutput
 	// reexecWait serializes recovery: the first fetcher of a lost output
 	// re-runs the task, later fetchers wait for it instead of piling on.
 	reexecWait map[int]*sim.Trigger
@@ -202,61 +209,91 @@ func (g *Registry) WaitBeyond(p *sim.Proc, seen int) {
 	}
 }
 
+// fetchBackoff is the deterministic exponential backoff a fetcher sleeps
+// after abandoning a transfer whose source died mid-flight: 200ms doubling
+// per attempt, capped at 5s (Hadoop's fetch retry, minus the jitter —
+// determinism is the reproduction's invariant).
+func fetchBackoff(attempt int) sim.Duration {
+	d := 200 * sim.Millisecond
+	for ; attempt > 0 && d < 5*sim.Second; attempt-- {
+		d *= 2
+	}
+	if d > 5*sim.Second {
+		d = 5 * sim.Second
+	}
+	return d
+}
+
 // FetchPart transfers partition part of a completed map output to
 // readerNode, charging the source disk (unless still fresh in cache) and
-// the network, and returns the encoded pair bytes. The caller must
-// ConsumePart afterwards.
+// the network, and returns the encoded pair bytes. A source that dies
+// mid-transfer voids the fetch: the fetcher backs off and retries against
+// the re-executed attempt rather than returning bytes from a dead machine.
+// The caller must ConsumePart afterwards.
 func (g *Registry) FetchPart(p *sim.Proc, readerNode int, out *MapOutput, part int) []byte {
-	for out.Lost {
-		if g.Reexec == nil {
-			panic("engine: lost map output with no re-execution path")
+	for attempt := 0; ; attempt++ {
+		for out.Lost {
+			if g.Reexec == nil {
+				panic("engine: lost map output with no re-execution path")
+			}
+			if tr, inFlight := g.reexecWait[out.TaskID]; inFlight {
+				// Another reducer is already recovering this task.
+				tr.Wait(p)
+				continue
+			}
+			tr := g.rt.Env.NewTrigger(fmt.Sprintf("reexec-%d", out.TaskID))
+			g.reexecWait[out.TaskID] = tr
+			fresh := g.Reexec(p, readerNode, out)
+			out.Store = fresh.Store
+			out.File = fresh.File
+			out.PartOff, out.PartLen = fresh.PartOff, fresh.PartLen
+			out.Leftover = fresh.Leftover
+			out.Pushed, out.Delivered = fresh.Pushed, fresh.Delivered
+			out.Node = fresh.Node
+			out.CompletedAt = p.Now()
+			out.Lost = false
+			delete(g.reexecWait, out.TaskID)
+			tr.Broadcast()
+			g.rt.Counters.Add(CtrTasksReexecuted, 1)
+			g.rt.Emit(trace.Fault, "map-reexec", readerNode, -1, 0,
+				trace.Num("map", float64(out.TaskID)))
 		}
-		if tr, inFlight := g.reexecWait[out.TaskID]; inFlight {
-			// Another reducer is already recovering this task.
-			tr.Wait(p)
+		size := out.PartSize(part)
+		if size == 0 {
+			return nil
+		}
+		aged := p.Now().Sub(out.CompletedAt) > g.FreshWindow
+		if aged {
+			// Aged out of the mapper's memory: read back from its disk, as a
+			// random access competing with everything else on that spindle.
+			out.Store.Device().Read(p, size, false)
+		}
+		g.rt.Cluster.Net.Transfer(p, out.Node, readerNode, size)
+		if out.Lost {
+			// The source died while we were mid-fetch: the connection is
+			// gone and the bytes cannot be trusted. Back off, then loop back
+			// into the re-execution path above.
+			g.rt.Counters.Add(CtrShuffleRetries, 1)
+			g.rt.Emit(trace.Fault, "shuffle-retry", readerNode, part, attempt,
+				trace.Num("map", float64(out.TaskID)))
+			p.Sleep(fetchBackoff(attempt))
 			continue
 		}
-		tr := g.rt.Env.NewTrigger(fmt.Sprintf("reexec-%d", out.TaskID))
-		g.reexecWait[out.TaskID] = tr
-		fresh := g.Reexec(p, readerNode, out.TaskID)
-		out.Store = fresh.Store
-		out.File = fresh.File
-		out.PartOff, out.PartLen = fresh.PartOff, fresh.PartLen
-		out.Leftover = fresh.Leftover
-		out.Node = fresh.Node
-		out.CompletedAt = p.Now()
-		out.Lost = false
-		delete(g.reexecWait, out.TaskID)
-		tr.Broadcast()
-		g.rt.Counters.Add(CtrMapTasksReexecuted, 1)
-		g.rt.Emit(trace.Fault, "map-reexec", readerNode, -1, 0,
-			trace.Num("map", float64(out.TaskID)))
-	}
-	size := out.PartSize(part)
-	if size == 0 {
-		return nil
-	}
-	data := out.PartData(part)
-	aged := p.Now().Sub(out.CompletedAt) > g.FreshWindow
-	if aged {
-		// Aged out of the mapper's memory: read back from its disk, as a
-		// random access competing with everything else on that spindle.
-		out.Store.Device().Read(p, size, false)
-	}
-	g.rt.Cluster.Net.Transfer(p, out.Node, readerNode, size)
-	g.rt.Counters.Add(CtrShuffleBytes, float64(size))
-	if g.rt.Tracing() {
-		diskRead := 0.0
-		if aged {
-			diskRead = 1
+		data := out.PartData(part)
+		g.rt.Counters.Add(CtrShuffleBytes, float64(size))
+		if g.rt.Tracing() {
+			diskRead := 0.0
+			if aged {
+				diskRead = 1
+			}
+			// part doubles as the reducer index under every engine's
+			// partition→reducer identity mapping.
+			g.rt.Emit(trace.ShuffleTransfer, "shuffle-transfer", readerNode, part, 0,
+				trace.Str("mode", "pull"), trace.Num("map", float64(out.TaskID)),
+				trace.Num("bytes", float64(size)), trace.Num("diskRead", diskRead))
 		}
-		// part doubles as the reducer index under every engine's
-		// partition→reducer identity mapping.
-		g.rt.Emit(trace.ShuffleTransfer, "shuffle-transfer", readerNode, part, 0,
-			trace.Str("mode", "pull"), trace.Num("map", float64(out.TaskID)),
-			trace.Num("bytes", float64(size)), trace.Num("diskRead", diskRead))
+		return data
 	}
-	return data
 }
 
 // PushChunk is one eagerly-pushed piece of map output (HOP-style pipelining
@@ -264,7 +301,12 @@ func (g *Registry) FetchPart(p *sim.Proc, readerNode int, out *MapOutput, part i
 type PushChunk struct {
 	FromNode int
 	MapTask  int
-	Data     []byte
+	// Seq numbers the chunk within its (map task, reducer) stream. The map
+	// function is deterministic, so a re-pushed chunk carries identical
+	// content under the same (MapTask, Seq) — reducers dedup on that pair
+	// when recovery or speculation can re-deliver.
+	Seq  int
+	Data []byte
 }
 
 // PushChannel is one reducer's inbound push queue with a byte-bounded
@@ -298,22 +340,35 @@ func (rt *Runtime) NewPushChannels(reducers int, limit int64) []*PushChannel {
 
 // TryPush attempts to push data from fromNode to the reducer (running on
 // toNode). It returns false without transferring when the queue is over its
-// backpressure limit.
-func (pc *PushChannel) TryPush(p *sim.Proc, fromNode, toNode, mapTask int, data []byte) bool {
+// backpressure limit, or when the sending node has failed — a dead machine's
+// NIC delivers nothing, so the chunk must reach the reducer through the
+// recovery path instead.
+func (pc *PushChannel) TryPush(p *sim.Proc, fromNode, toNode, mapTask, seq int, data []byte) bool {
+	if pc.closed {
+		// Only a losing attempt (speculation or recovery racing the
+		// winner) can still be pushing after the reducer closed its
+		// queue; the winner already delivered this (MapTask, Seq)
+		// identity, so the chunk is a duplicate — drop it as accepted.
+		return true
+	}
 	if pc.queuedBytes >= pc.limit {
 		return false
 	}
-	if pc.closed {
-		panic("engine: push to closed channel")
+	if pc.rt.Cluster.Node(fromNode).Failed() {
+		return false
 	}
 	pc.rt.Cluster.Net.Transfer(p, fromNode, toNode, int64(len(data)))
+	if pc.rt.Cluster.Node(fromNode).Failed() {
+		// Died mid-transfer: the chunk never fully arrived.
+		return false
+	}
 	pc.rt.Counters.Add(CtrShuffleBytes, float64(len(data)))
 	if pc.rt.Tracing() {
 		pc.rt.Emit(trace.ShuffleTransfer, "shuffle-transfer", fromNode, mapTask, 0,
 			trace.Str("mode", "push"), trace.Num("reducer", float64(pc.reducer)),
 			trace.Num("bytes", float64(len(data))))
 	}
-	pc.queue = append(pc.queue, PushChunk{FromNode: fromNode, MapTask: mapTask, Data: data})
+	pc.queue = append(pc.queue, PushChunk{FromNode: fromNode, MapTask: mapTask, Seq: seq, Data: data})
 	pc.queuedBytes += int64(len(data))
 	pc.trig.Broadcast()
 	return true

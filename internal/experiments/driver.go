@@ -50,6 +50,7 @@ func Experiments() []Experiment {
 			Specs:  func(*Session) []runSpec { return []runSpec{specHadoopSessionization()} },
 			After:  func(s *Session) []runSpec { return []runSpec{s.faultSpec()} },
 			Render: (*Session).FaultTolerance},
+		{ID: "Chaos sweep", Specs: chaosSpecs, After: chaosAfterSpecs, Render: (*Session).ChaosSweep},
 		{ID: "Ablation (fan-in)", Specs: ablationFanInSpecs, Render: (*Session).AblationFanIn},
 		{ID: "Ablation (HOP chunk)", Specs: ablationHOPChunkSpecs, Render: (*Session).AblationHOPChunk},
 		{ID: "Ablation (hot-key memory)", Specs: ablationHotKeyMemorySpecs, Render: (*Session).AblationHotKeyMemory},

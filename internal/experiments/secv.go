@@ -303,7 +303,7 @@ func (s *Session) FaultTolerance() *Report {
 			{
 				Name:     "map tasks re-executed",
 				Paper:    "-",
-				Measured: fmt.Sprintf("%.0f of %.0f", faulted.Counters.Get(engine.CtrMapTasksReexecuted), faulted.Counters.Get(engine.CtrMapTasks)),
+				Measured: fmt.Sprintf("%.0f of %.0f", faulted.Counters.Get(engine.CtrTasksReexecuted), faulted.Counters.Get(engine.CtrMapTasks)),
 				Note:     "lost outputs recomputed on the fetching reducer's node",
 			},
 		},

@@ -14,6 +14,7 @@ import (
 	"onepass/internal/dfs"
 	"onepass/internal/disk"
 	"onepass/internal/engine"
+	"onepass/internal/faults"
 	"onepass/internal/gen"
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
@@ -53,6 +54,10 @@ type runSpec struct {
 	FaultNode       int          `json:",omitempty"`
 	FaultNodeAtFrac float64      `json:",omitempty"`
 	BaselineMS      sim.Duration `json:",omitempty"`
+	// Faults, when non-empty, is a fault schedule in the faults.Parse
+	// grammar, injected into the run on any engine. Like every other field
+	// it is part of the cache key.
+	Faults string `json:",omitempty"`
 }
 
 // runEntry is one cache slot. The goroutine that inserts the entry runs the
@@ -220,27 +225,37 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 		}
 	}
 
+	var sched faults.Schedule
+	if spec.Faults != "" {
+		var ferr error
+		if sched, ferr = faults.Parse(spec.Faults); ferr != nil {
+			panic(fmt.Sprintf("experiments: %s/%s: %v", spec.Engine, spec.Workload, ferr))
+		}
+	}
+
 	s.logf("running %s on %s (%s input)...", w.Name, spec.Engine, fmtBytes(float64(inputSize)))
 	var res *engine.Result
 	var err error
 	switch spec.Engine {
 	case "hadoop":
-		hopts := hadoop.Options{FanIn: spec.FanIn, SegmentLimit: s.segmentLimit(inputSize)}
+		hopts := hadoop.Options{FanIn: spec.FanIn, SegmentLimit: s.segmentLimit(inputSize), Faults: sched}
 		if spec.FaultNodeAtFrac > 0 {
-			hopts.Faults = []hadoop.Fault{{Node: spec.FaultNode,
-				At: sim.Duration(float64(spec.BaselineMS) * spec.FaultNodeAtFrac)}}
+			hopts.Faults = faults.Schedule{Faults: []faults.Fault{{
+				Kind: faults.NodeFailure, Node: spec.FaultNode,
+				At: sim.Duration(float64(spec.BaselineMS) * spec.FaultNodeAtFrac)}}}
 		}
 		res, err = hadoop.Run(rt, job, hopts)
 	case "hop":
 		res, err = hop.Run(rt, job, hop.Options{
 			FanIn: spec.FanIn, ChunkBytes: spec.ChunkBytes, DisableSnapshots: !spec.Snapshots,
+			Faults: sched,
 		})
 	case "hash-hybrid":
-		res, err = core.Run(rt, job, core.Options{Mode: core.HybridHash})
+		res, err = core.Run(rt, job, core.Options{Mode: core.HybridHash, Faults: sched})
 	case "hash-incremental":
-		res, err = core.Run(rt, job, core.Options{Mode: core.Incremental})
+		res, err = core.Run(rt, job, core.Options{Mode: core.Incremental, Faults: sched})
 	case "hash-hotkey":
-		res, err = core.Run(rt, job, core.Options{Mode: core.HotKey, HotKeyCounters: spec.HotCounters})
+		res, err = core.Run(rt, job, core.Options{Mode: core.HotKey, HotKeyCounters: spec.HotCounters, Faults: sched})
 	default:
 		panic(fmt.Sprintf("experiments: unknown engine %q", spec.Engine))
 	}

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"onepass/internal/sim"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	specs := []string{
+		"fail@2s:n1",
+		"disk-slow@1s+5s:n2x8",
+		"straggler@0s:n3x50,net-slow@4s:n0x10",
+	}
+	for _, spec := range specs {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if got := s.String(); got != spec {
+			t.Errorf("Parse(%q).String() = %q", spec, got)
+		}
+	}
+}
+
+func TestParseFields(t *testing.T) {
+	s, err := Parse("disk-slow@1.5+30:n2x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fault{Kind: DiskSlow, Node: 2, At: sim.Seconds(1.5), For: sim.Seconds(30), Factor: 4}
+	if len(s.Faults) != 1 || s.Faults[0] != want {
+		t.Fatalf("got %+v, want %+v", s.Faults, want)
+	}
+	// Factor defaults to 8 when omitted.
+	s, err = Parse("straggler@0:n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults[0].Factor != 8 {
+		t.Errorf("default factor = %g, want 8", s.Faults[0].Factor)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"fail",              // no @
+		"fail@2s",           // no target
+		"melt@2s:n1",        // unknown kind
+		"fail@2s:node1",     // bad target
+		"fail@abc:n1",       // bad time
+		"disk-slow@1s:n1xq", // bad factor
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := Schedule{Faults: []Fault{
+		{Kind: NodeFailure, Node: 1, At: sim.Seconds(2)},
+		{Kind: DiskSlow, Node: 0, At: 0, Factor: 4},
+	}}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	bad := []Schedule{
+		{Faults: []Fault{{Kind: NodeFailure, Node: 9, At: 0}}},                        // node range
+		{Faults: []Fault{{Kind: NodeFailure, Node: 0, At: -sim.Seconds(1)}}},          // negative time
+		{Faults: []Fault{{Kind: Straggler, Node: 0, At: 0, Factor: 0.5}}},             // factor < 1
+		{Faults: []Fault{{Kind: NodeFailure, Node: 0}, {Kind: NodeFailure, Node: 1}}}, // kills whole cluster
+	}
+	for i, s := range bad {
+		if err := s.Validate(2); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestChaosDeterministicAndValid(t *testing.T) {
+	a := Chaos(7, 10, sim.Seconds(60))
+	b := Chaos(7, 10, sim.Seconds(60))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed gave different schedules:\n%v\n%v", a, b)
+	}
+	if err := a.Validate(10); err != nil {
+		t.Fatalf("chaos schedule invalid: %v", err)
+	}
+	fails := 0
+	for _, f := range a.Faults {
+		if f.Kind.Terminal() {
+			fails++
+		}
+		if f.At > sim.Seconds(60) {
+			t.Errorf("fault at %v beyond horizon", f.At)
+		}
+	}
+	if fails != 1 {
+		t.Errorf("chaos schedule has %d failures, want exactly 1", fails)
+	}
+	if c := Chaos(8, 10, sim.Seconds(60)); reflect.DeepEqual(a, c) {
+		t.Error("different seeds gave identical schedules")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"onepass/internal/cluster"
 	"onepass/internal/dfs"
 	"onepass/internal/engine"
+	"onepass/internal/faults"
 	"onepass/internal/hashlib"
 	"onepass/internal/sim"
 	"onepass/internal/sortmerge"
@@ -31,14 +32,6 @@ func Partitioner() engine.Partitioner {
 	return func(key []byte, n int) int { return h.Bucket(key, n) }
 }
 
-// Fault schedules a node failure at a virtual instant: the node stops
-// taking new tasks and every map output it persisted is lost, forcing
-// re-execution when a reducer asks for it.
-type Fault struct {
-	Node int
-	At   sim.Duration
-}
-
 // Options tunes the engine.
 type Options struct {
 	// FanIn is the multi-pass merge factor F (Hadoop's io.sort.factor).
@@ -47,8 +40,8 @@ type Options struct {
 	// before a forced spill (mapreduce.reduce.merge.inmem.threshold;
 	// Hadoop default 1000). Zero disables the trigger.
 	SegmentLimit int
-	// Faults injects node failures (fault-tolerance testing).
-	Faults []Fault
+	// Faults is the deterministic fault schedule to inject during the run.
+	Faults faults.Schedule
 }
 
 // Run executes job on rt with the sort-merge engine.
@@ -82,19 +75,14 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 	for _, b := range blocks {
 		blockByTask[b.Index] = b
 	}
-	reg.Reexec = func(p *sim.Proc, nodeID, taskID int) *engine.MapOutput {
-		return executeMapAttempt(rt, p, rt.Cluster.Node(nodeID), &job, costs, blockByTask[taskID], partition)
+	reg.Reexec = func(p *sim.Proc, readerNode int, lost *engine.MapOutput) *engine.MapOutput {
+		node := rt.Cluster.Node(readerNode)
+		if node.Failed() {
+			node = surviving(rt)
+		}
+		return executeMapAttempt(rt, p, node, &job, costs, blockByTask[lost.TaskID], partition)
 	}
-	for _, fault := range opts.Faults {
-		fault := fault
-		rt.Env.Go(fmt.Sprintf("fault-node%d", fault.Node), func(p *sim.Proc) {
-			p.Sleep(fault.At)
-			rt.Cluster.Node(fault.Node).Fail()
-			reg.FailNode(fault.Node)
-			rt.Counters.Add("faults.injected", 1)
-			rt.Emit(trace.Fault, "node-failure", fault.Node, -1, 0)
-		})
-	}
+	rt.InstallFaults(opts.Faults, reg.FailNode)
 
 	rt.StartSampling()
 	mapsWG := rt.RunMaps(&job, blocks, func(p *sim.Proc, node *cluster.Node, b *dfs.Block) {
@@ -106,11 +94,23 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 	rt.Env.Go("job-controller", func(p *sim.Proc) {
 		mapsWG.Wait(p)
 		redsWG.Wait(p)
+		rt.JobDone()
 		rt.StopSampling()
 	})
 	rt.Env.Run()
 	rt.FinishResult(res)
 	return res, nil
+}
+
+// surviving returns the first compute node that has not failed; recovery
+// re-executes lost map tasks there when the requesting node is itself dead.
+func surviving(rt *engine.Runtime) *cluster.Node {
+	for _, n := range rt.Cluster.ComputeNodes() {
+		if !n.Failed() {
+			return n
+		}
+	}
+	panic("hadoop: no surviving compute node for re-execution")
 }
 
 // RunMapTask is the stock map-side path: map, buffer-sort on (partition,

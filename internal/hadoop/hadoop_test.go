@@ -7,6 +7,7 @@ import (
 	"onepass/internal/dfs"
 	"onepass/internal/engine"
 	"onepass/internal/enginetest"
+	"onepass/internal/faults"
 	"onepass/internal/gen"
 	"onepass/internal/sim"
 	"onepass/internal/workloads"
@@ -185,7 +186,8 @@ func TestNodeFailureReexecutesLostMaps(t *testing.T) {
 	// Fail node 1 shortly into the run: its completed map outputs are lost
 	// and must be recomputed when reducers ask for them. (The failure model
 	// is TaskTracker death: DFS replicas stay readable.)
-	res, err := Run(f.RT, f.Job, Options{Faults: []Fault{{Node: 1, At: 20 * sim.Millisecond}}})
+	res, err := Run(f.RT, f.Job, Options{Faults: faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.NodeFailure, Node: 1, At: 20 * sim.Millisecond}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +195,7 @@ func TestNodeFailureReexecutesLostMaps(t *testing.T) {
 	if res.Counters.Get("faults.injected") != 1 {
 		t.Fatal("fault not injected")
 	}
-	if res.Counters.Get(engine.CtrMapTasksReexecuted) == 0 {
+	if res.Counters.Get(engine.CtrTasksReexecuted) == 0 {
 		t.Fatal("no map tasks were re-executed after the failure")
 	}
 }
@@ -203,12 +205,13 @@ func TestNodeFailureBeforeAnyMapsStillCorrect(t *testing.T) {
 	// absorb all tasks.
 	w := workloads.PerUserCount(smallClicks())
 	f := enginetest.New(t, w, enginetest.Config{Nodes: 4})
-	res, err := Run(f.RT, f.Job, Options{Faults: []Fault{{Node: 2, At: 0}}})
+	res, err := Run(f.RT, f.Job, Options{Faults: faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.NodeFailure, Node: 2, At: 0}}}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.CheckOutput(t, w, res)
-	if res.Counters.Get(engine.CtrMapTasksReexecuted) != 0 {
+	if res.Counters.Get(engine.CtrTasksReexecuted) != 0 {
 		t.Fatal("nothing should need re-execution when the node dies before completing any map")
 	}
 }

@@ -3,10 +3,13 @@ package hop
 import (
 	"testing"
 
+	"onepass/internal/cluster"
 	"onepass/internal/engine"
 	"onepass/internal/enginetest"
+	"onepass/internal/faults"
 	"onepass/internal/gen"
 	"onepass/internal/hadoop"
+	"onepass/internal/sim"
 	"onepass/internal/workloads"
 )
 
@@ -137,5 +140,43 @@ func TestShuffleBytesMatchMapOutput(t *testing.T) {
 	shuffled := res.Counters.Get(engine.CtrShuffleBytes)
 	if shuffled == 0 {
 		t.Fatal("nothing shuffled")
+	}
+}
+
+func TestNodeFailureRepushesLostChunks(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	// Enough blocks that node 1 still has map tasks (and undelivered
+	// chunks) in flight when it dies.
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 32 * 64 << 10})
+	res, err := Run(f.RT, f.Job, Options{Faults: faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.NodeFailure, Node: 1, At: 20 * sim.Millisecond}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get(engine.CtrFaultsInjected) != 1 {
+		t.Fatal("fault not injected")
+	}
+	if res.Counters.Get(engine.CtrTasksReexecuted) == 0 {
+		t.Fatal("no lost map task was recovered")
+	}
+}
+
+func TestSpeculationDedupsDuplicateChunks(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 16 * 64 << 10,
+		Cluster: func(c *cluster.Config) { c.SSDIntermediate = true }})
+	f.Job.Speculation = true
+	// A crippled scratch disk makes node 3's map attempts straggle, so the
+	// drained queue backs them up on other nodes; both attempts push the
+	// same (map task, seq) chunks and reducers must drop the duplicates.
+	f.RT.Cluster.Node(3).ScratchDevice().SetSlowdown(100)
+	res, err := Run(f.RT, f.Job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get(engine.CtrMapTasksSpeculative) == 0 {
+		t.Fatal("no speculative attempt launched")
 	}
 }

@@ -152,6 +152,28 @@ func TestSamplerDeltaAndGauge(t *testing.T) {
 	}
 }
 
+func TestSamplerTrackDeltaAfterStart(t *testing.T) {
+	env := sim.New()
+	s := NewSampler(env, sim.Second)
+	cum := 0.0
+	var late *Series
+	s.Start()
+	env.Go("driver", func(p *sim.Proc) {
+		cum = 100 // history accumulated before the probe is registered
+		late = s.TrackDelta("late", "v", func() float64 { return cum }, 1)
+		p.Sleep(sim.Second)
+		cum = 103
+		p.Sleep(sim.Second)
+		s.Stop()
+	})
+	env.Run()
+	// The first bucket must hold only the delta since registration, not the
+	// probe's whole cumulative history.
+	if late.At(0) != 0 || late.At(1) != 3 {
+		t.Fatalf("late deltas = %v, want [0 3]", late.Values())
+	}
+}
+
 func TestSamplerUtilizationFromResource(t *testing.T) {
 	env := sim.New()
 	cpu := env.NewResource("cpu", 4)

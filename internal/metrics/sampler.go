@@ -38,7 +38,13 @@ func NewSampler(env *sim.Env, interval sim.Duration) *Sampler {
 // utilization in [0,1].
 func (s *Sampler) TrackDelta(name, unit string, probe Probe, scale float64) *Series {
 	series := NewSeries(name, unit, s.interval)
-	s.probes = append(s.probes, probeEntry{probe: probe, scale: scale, series: series})
+	e := probeEntry{probe: probe, scale: scale, series: series}
+	if s.started {
+		// Registered mid-run: baseline at the current probe value, or the
+		// first bucket would absorb the probe's whole cumulative history.
+		e.last = probe()
+	}
+	s.probes = append(s.probes, e)
 	return series
 }
 

@@ -25,6 +25,9 @@ type Network struct {
 type nic struct {
 	egress  *sim.Resource
 	ingress *sim.Resource
+	// slow scales transfer times through this NIC (>= 1; 0 means 1). Set by
+	// the fault injector to model a degraded link.
+	slow float64
 }
 
 // New creates a network connecting n nodes, each with the given per-direction
@@ -61,6 +64,17 @@ func (n *Network) IngressBusyIntegral(node int) float64 {
 	return n.nics[node].ingress.BusyIntegral()
 }
 
+// SetDegraded scales transfer times through node's NIC by factor — the
+// link-degradation fault. Factors below 1 reset the NIC to full speed.
+// Transfers already in their current chunk are unaffected; the next chunk
+// sees the new rate.
+func (n *Network) SetDegraded(node int, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	n.nics[node].slow = factor
+}
+
 // Transfer moves bytes from node `from` to node `to`, blocking p for the
 // transfer duration. A transfer between a node and itself is free (loopback
 // never left the machine in the paper's measurements either).
@@ -82,6 +96,12 @@ func (n *Network) Transfer(p *sim.Proc, from, to int, bytes int64) {
 			c = remaining
 		}
 		d := sim.Seconds(float64(c) / n.bw)
+		// A degraded link slows the whole path; the worse endpoint dominates.
+		if s := src.slow; s > 1 && s > dst.slow {
+			d = sim.Duration(float64(d) * s)
+		} else if s := dst.slow; s > 1 {
+			d = sim.Duration(float64(d) * s)
+		}
 		first.Acquire(p, 1)
 		second.Acquire(p, 1)
 		p.Sleep(d)

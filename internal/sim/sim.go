@@ -121,6 +121,15 @@ func (e *Env) schedule(p *Proc, at Time) {
 	heap.Push(&e.events, event{at: at, seq: e.nextSeq(), p: p})
 }
 
+// scheduleCancelable schedules a resumption that is skipped at pop time if
+// *canceled has been set by then.
+func (e *Env) scheduleCancelable(p *Proc, at Time, canceled *bool) {
+	if at < e.now {
+		at = e.now
+	}
+	heap.Push(&e.events, event{at: at, seq: e.nextSeq(), p: p, canceled: canceled})
+}
+
 // Proc is a simulation process. All blocking methods must be called from the
 // goroutine running the process body.
 type Proc struct {
@@ -224,6 +233,15 @@ type Trigger struct {
 	env     *Env
 	name    string
 	waiters []*Proc
+	timed   []timedWaiter
+}
+
+// timedWaiter is a WaitTimeout caller. done is shared with the pending timer
+// event: Broadcast sets it, which both tells the woken process the trigger
+// fired and cancels the stale timer still sitting in the event heap.
+type timedWaiter struct {
+	p    *Proc
+	done *bool
 }
 
 // NewTrigger returns a trigger bound to e.
@@ -237,10 +255,41 @@ func (t *Trigger) Wait(p *Proc) {
 	p.block("trigger " + t.name)
 }
 
+// WaitTimeout blocks p until the next Broadcast or until d elapses,
+// whichever comes first, and reports whether the broadcast fired. Only one
+// resumption ever reaches p: Broadcast marks the waiter done before
+// scheduling it, which cancels the timer event, and the timer path removes
+// the waiter from the trigger before returning.
+func (t *Trigger) WaitTimeout(p *Proc, d Duration) (fired bool) {
+	if d < 0 {
+		d = 0
+	}
+	done := false
+	t.env.scheduleCancelable(p, t.env.now.Add(d), &done)
+	t.timed = append(t.timed, timedWaiter{p: p, done: &done})
+	p.block(fmt.Sprintf("trigger %s (timeout %v)", t.name, d))
+	if done {
+		return true
+	}
+	// Timed out: unregister so a later Broadcast doesn't resume us again.
+	for i, w := range t.timed {
+		if w.p == p {
+			t.timed = append(t.timed[:i], t.timed[i+1:]...)
+			break
+		}
+	}
+	return false
+}
+
 // Broadcast wakes every current waiter at the current instant.
 func (t *Trigger) Broadcast() {
 	for _, w := range t.waiters {
 		t.env.schedule(w, t.env.now)
 	}
 	t.waiters = t.waiters[:0]
+	for _, w := range t.timed {
+		*w.done = true
+		t.env.schedule(w.p, t.env.now)
+	}
+	t.timed = t.timed[:0]
 }

@@ -333,3 +333,92 @@ func TestResourceBusyIntegralProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWaitTimeoutBroadcastWins(t *testing.T) {
+	e := New()
+	tr := e.NewTrigger("cond")
+	var fired bool
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		fired = tr.WaitTimeout(p, 10*Second)
+		at = p.Now()
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(2 * Second)
+		tr.Broadcast()
+	})
+	e.Run()
+	if !fired {
+		t.Error("WaitTimeout reported timeout despite broadcast at 2s")
+	}
+	if at != Time(2*Second) {
+		t.Errorf("woke at %v, want 2s", at)
+	}
+	// The canceled timer event must not have extended virtual time to 10s.
+	if e.Now() != Time(2*Second) {
+		t.Errorf("sim ended at %v, want 2s (stale timer extended the run)", e.Now())
+	}
+}
+
+func TestWaitTimeoutTimerWins(t *testing.T) {
+	e := New()
+	tr := e.NewTrigger("cond")
+	var fired bool
+	e.Go("waiter", func(p *Proc) {
+		fired = tr.WaitTimeout(p, 3*Second)
+	})
+	e.Run()
+	if fired {
+		t.Error("WaitTimeout reported broadcast with no signaler")
+	}
+	if e.Now() != Time(3*Second) {
+		t.Errorf("sim ended at %v, want 3s", e.Now())
+	}
+}
+
+func TestWaitTimeoutLateBroadcastDoesNotDoubleResume(t *testing.T) {
+	e := New()
+	tr := e.NewTrigger("cond")
+	wakes := 0
+	e.Go("waiter", func(p *Proc) {
+		tr.WaitTimeout(p, 1*Second) // times out
+		wakes++
+		p.Sleep(5 * Second) // a broadcast at 2s must not cut this short
+		wakes++
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(2 * Second)
+		tr.Broadcast()
+	})
+	e.Run()
+	if wakes != 2 {
+		t.Errorf("wakes = %d, want 2", wakes)
+	}
+	if e.Now() != Time(6*Second) {
+		t.Errorf("sim ended at %v, want 6s", e.Now())
+	}
+}
+
+func TestWaitTimeoutMixedWaiters(t *testing.T) {
+	e := New()
+	tr := e.NewTrigger("cond")
+	var plainWoke, timedFired bool
+	e.Go("plain", func(p *Proc) {
+		tr.Wait(p)
+		plainWoke = true
+	})
+	e.Go("timed", func(p *Proc) {
+		timedFired = tr.WaitTimeout(p, 30*Second)
+	})
+	e.Go("signaler", func(p *Proc) {
+		p.Sleep(1 * Second)
+		tr.Broadcast()
+	})
+	e.Run()
+	if !plainWoke || !timedFired {
+		t.Errorf("plainWoke=%v timedFired=%v, want both true", plainWoke, timedFired)
+	}
+	if e.Now() != Time(1*Second) {
+		t.Errorf("sim ended at %v, want 1s", e.Now())
+	}
+}
