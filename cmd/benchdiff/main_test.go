@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+pkg: onepass
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableI_Workloads 	       1	14090653780 ns/op	8497055488 B/op	52483022 allocs/op
+cpu-util         |█▇▇▄▁▄▆▃▁▁▁▂▂▁▁▁▁▁▁▁▁▁▁| max=0.46 mean=0.13
+BenchmarkFig2a_TaskTimeline-8         	       1	     80512 ns/op	    9016 B/op	     117 allocs/op
+pkg: onepass/internal/kv
+BenchmarkAppendDecodePair 	       1	      1397 ns/op	  25.77 MB/s	      80 B/op	       3 allocs/op
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	e := got["onepass.BenchmarkTableI_Workloads"]
+	if e["allocs/op"] != 52483022 || e["B/op"] != 8497055488 {
+		t.Fatalf("TableI metrics = %v", e)
+	}
+	// -GOMAXPROCS suffix must be stripped so hosts with different core
+	// counts compare under the same key.
+	if _, ok := got["onepass.BenchmarkFig2a_TaskTimeline"]; !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	// MB/s is a value/unit pair like any other and must not derail parsing.
+	if got["onepass/internal/kv.BenchmarkAppendDecodePair"]["allocs/op"] != 3 {
+		t.Fatalf("kv metrics = %v", got["onepass/internal/kv.BenchmarkAppendDecodePair"])
+	}
+}
+
+func bench(allocs, bytes float64) entry {
+	return entry{"allocs/op": allocs, "B/op": bytes, "ns/op": 1}
+}
+
+var gateMetrics = []string{"allocs/op", "B/op"}
+
+func TestCompareOK(t *testing.T) {
+	base := map[string]entry{"p.BenchmarkA": bench(1000, 4000)}
+	cur := map[string]entry{"p.BenchmarkA": bench(1100, 4100)}
+	rep := compare(base, cur, gateMetrics, 0.25, 8)
+	if rep.compared != 2 || rep.regressions != 0 || rep.improvements != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if verdict(rep) != 0 {
+		t.Fatal("within-threshold drift must pass")
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	base := map[string]entry{"p.BenchmarkA": bench(1000, 4000)}
+	cur := map[string]entry{"p.BenchmarkA": bench(1300, 4000)}
+	rep := compare(base, cur, gateMetrics, 0.25, 8)
+	if rep.regressions != 1 {
+		t.Fatalf("want 1 regression, report = %+v", rep)
+	}
+	if verdict(rep) != 1 {
+		t.Fatal("regression must fail the gate")
+	}
+}
+
+func TestCompareUnclaimedImprovementFails(t *testing.T) {
+	// The other side of the ratchet: a big improvement against a stale
+	// baseline must fail until the baseline is refreshed with -update.
+	base := map[string]entry{"p.BenchmarkA": bench(1000, 4000)}
+	cur := map[string]entry{"p.BenchmarkA": bench(100, 4000)}
+	rep := compare(base, cur, gateMetrics, 0.25, 8)
+	if rep.improvements != 1 {
+		t.Fatalf("want 1 improvement, report = %+v", rep)
+	}
+	if verdict(rep) != 1 {
+		t.Fatal("unclaimed improvement must fail the gate")
+	}
+}
+
+func TestCompareBOpGated(t *testing.T) {
+	// allocs/op flat but B/op tripled: the gate must catch it.
+	base := map[string]entry{"p.BenchmarkA": bench(1000, 4000)}
+	cur := map[string]entry{"p.BenchmarkA": bench(1000, 12000)}
+	rep := compare(base, cur, gateMetrics, 0.25, 8)
+	if rep.regressions != 1 {
+		t.Fatalf("B/op regression missed, report = %+v", rep)
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// 2 → 6 allocs is +200% but both sides are under the noise floor.
+	base := map[string]entry{"p.BenchmarkA": bench(2, 2)}
+	cur := map[string]entry{"p.BenchmarkA": bench(6, 6)}
+	rep := compare(base, cur, gateMetrics, 0.25, 8)
+	if rep.regressions != 0 || verdict(rep) != 0 {
+		t.Fatalf("noise-floor comparison gated, report = %+v", rep)
+	}
+}
+
+func TestCompareZeroToNonzero(t *testing.T) {
+	base := map[string]entry{"p.BenchmarkA": bench(0, 0)}
+	cur := map[string]entry{"p.BenchmarkA": bench(500, 500)}
+	rep := compare(base, cur, gateMetrics, 0.25, 8)
+	if rep.regressions != 2 {
+		t.Fatalf("0 -> nonzero must regress both metrics, report = %+v", rep)
+	}
+}
+
+func TestBenchstatTable(t *testing.T) {
+	base := map[string]entry{"onepass.BenchmarkTableI_Workloads": bench(52483022, 8497055488)}
+	cur := map[string]entry{"onepass.BenchmarkTableI_Workloads": bench(574879, 4043316752)}
+	got := benchstatTable(base, cur, gateMetrics)
+	for _, want := range []string{
+		"old allocs/op", "new B/op", "TableI_Workloads", "52.48M", "574.88k", "8.50G", "-98.90%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	base := map[string]entry{
+		"p.BenchmarkGone": bench(1000, 4000),
+		"p.BenchmarkKept": bench(1000, 4000),
+	}
+	cur := map[string]entry{
+		"p.BenchmarkKept": bench(1000, 4000),
+		"p.BenchmarkNew":  bench(1000, 4000),
+	}
+	rep := compare(base, cur, gateMetrics, 0.25, 8)
+	if len(rep.missing) != 1 || rep.missing[0] != "p.BenchmarkGone" {
+		t.Fatalf("missing = %v", rep.missing)
+	}
+	if len(rep.added) != 1 || rep.added[0] != "p.BenchmarkNew" {
+		t.Fatalf("added = %v", rep.added)
+	}
+	// Missing/new entries inform but do not gate; the kept benchmark is flat.
+	if verdict(rep) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

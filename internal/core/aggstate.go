@@ -102,6 +102,19 @@ func newStateTable(h *hashlib.Func, agg engine.Aggregator, mapCombined bool) *st
 	}
 }
 
+// reset empties the table for reuse: slots and arena slabs are recycled in
+// place, so a table that is flushed and refilled (the map-side combine
+// cycle) stops allocating once it reaches steady state.
+func (st *stateTable) reset() {
+	st.tbl.Reset()
+	for i := range st.states {
+		st.states[i] = nil
+	}
+	st.states = st.states[:0]
+	st.stateBytes = 0
+	st.keyBytes = 0
+}
+
 // fold incorporates one payload for key. It returns true when the key was
 // newly inserted.
 func (st *stateTable) fold(key, payload []byte, f form) bool {

@@ -205,7 +205,7 @@ func newReduceCtx(rt *engine.Runtime, job *engine.Job, costs engine.CostModel,
 			if f, ok := cache[l]; ok {
 				return f
 			}
-			f := hashlib.NewAt(HashSeed, l+1)
+			f := hashlib.Shared(HashSeed, l+1)
 			cache[l] = f
 			return f
 		},

@@ -34,7 +34,11 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 		fmt.Sprintf("%s/hashmap-%05d/file.out", job.Name, b.Index),
 		b.Index, node.ID, R,
 		func(r int) []byte {
-			var enc []byte
+			total := 0
+			for _, c := range chunks[r] {
+				total += len(c)
+			}
+			enc := make([]byte, 0, total)
 			for _, c := range chunks[r] {
 				enc = append(enc, c...)
 			}
@@ -110,7 +114,18 @@ func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *en
 	R := job.Reducers
 	chunks := make([][][]byte, R) // per partition: encoded chunks <= ChunkBytes
 	cur := make([][]byte, R)
+	// The plain partitioning scan copies the whole record stream through, so
+	// nearly every chunk fills to ChunkBytes and exact sizing avoids the
+	// doubling reallocations; combined output is usually far below one chunk
+	// per partition, so it keeps plain append growth.
+	var chunkPrealloc int64
+	if !mapCombined {
+		chunkPrealloc = opts.ChunkBytes + 1<<10
+	}
 	addPair := func(r int, key, val []byte) {
+		if cur[r] == nil && chunkPrealloc > 0 {
+			cur[r] = make([]byte, 0, chunkPrealloc)
+		}
 		cur[r] = kv.AppendPair(cur[r], key, val)
 		if int64(len(cur[r])) >= opts.ChunkBytes {
 			chunks[r] = append(chunks[r], cur[r])
@@ -140,7 +155,7 @@ func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *en
 					flushed++
 					return true
 				})
-				tables[r] = newStateTable(hashAtShared(1), agg, false)
+				tb.reset()
 			}
 			if rt.Tracing() {
 				rt.Emit(trace.CombineFlush, "map-combine", node.ID, b.Index, 0,
@@ -196,7 +211,11 @@ func reexecMapOutput(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *e
 			if skip > len(chunks[r]) {
 				skip = len(chunks[r])
 			}
-			var enc []byte
+			total := 0
+			for _, c := range chunks[r][skip:] {
+				total += len(c)
+			}
+			enc := make([]byte, 0, total)
 			for _, c := range chunks[r][skip:] {
 				enc = append(enc, c...)
 			}
@@ -210,8 +229,9 @@ func reexecMapOutput(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *e
 	return fresh
 }
 
-// hashAtShared returns hash family member i; the family is deterministic,
-// so constructing per call keeps map tasks free of shared mutable state.
+// hashAtShared returns hash family member i from hashlib's immutable
+// process-wide cache; the family is deterministic, so every task sees the
+// same function without rebuilding its tables.
 func hashAtShared(i int) *hashlib.Func {
-	return hashlib.NewAt(HashSeed, i)
+	return hashlib.Shared(HashSeed, i)
 }

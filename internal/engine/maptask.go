@@ -70,6 +70,7 @@ func CombineSorted(job *Job, buf *kv.Buffer) (*kv.Buffer, int) {
 	out := kv.NewBuffer(int(buf.Bytes()))
 	inputs := 0
 	i := 0
+	var vals [][]byte // reused across groups; the combiner must not retain it
 	for i < buf.Len() {
 		p := buf.Partition(i)
 		key := buf.Key(i)
@@ -77,7 +78,7 @@ func CombineSorted(job *Job, buf *kv.Buffer) (*kv.Buffer, int) {
 		for j < buf.Len() && buf.Partition(j) == p && kv.Compare(buf.Key(j), key, nil) == 0 {
 			j++
 		}
-		vals := make([][]byte, 0, j-i)
+		vals = vals[:0]
 		for k := i; k < j; k++ {
 			vals = append(vals, buf.Val(k))
 		}

@@ -48,13 +48,25 @@ func (oc *OutputCollector) Emit(p *sim.Proc, r int, nodeID int, key, val []byte)
 		w = &dfsWriterRef{append: dw.Append}
 		oc.writers[r] = w
 	}
-	enc := kv.AppendPair(nil, key, val)
+	// Consume key and val completely before the first blocking call: callers
+	// pass scratch buffers that other processes may overwrite while this one
+	// is suspended inside Compute or a DFS append. The pair is encoded
+	// straight into the write-behind buffer (dfs.Writer.Append copies, so the
+	// buffer is reused across flushes) and the checksum/retained copies are
+	// staged now, applied after the charge to keep event ordering identical.
+	before := len(w.buf)
+	w.buf = kv.AppendPair(w.buf, key, val)
+	encLen := len(w.buf) - before
+	sum := pairHash(key, val)
+	var retKey, retVal string
+	if oc.job.RetainOutput {
+		retKey, retVal = string(key), string(val)
+	}
 	node := oc.rt.Cluster.Node(nodeID)
-	node.Compute(p, Dur(float64(len(enc)), oc.job.Costs.merged().SerializeNsPerByte), PhaseReduce)
-	w.buf = append(w.buf, enc...)
+	node.Compute(p, Dur(float64(encLen), oc.job.Costs.merged().SerializeNsPerByte), PhaseReduce)
 	if len(w.buf) >= outputFlushBytes {
 		w.append(p, w.buf)
-		w.buf = nil
+		w.buf = w.buf[:0]
 	}
 
 	if !oc.res.haveFirst {
@@ -63,14 +75,14 @@ func (oc *OutputCollector) Emit(p *sim.Proc, r int, nodeID int, key, val []byte)
 		oc.rt.Emit(trace.FirstOutput, "first-output", nodeID, r, 0)
 	}
 	oc.res.OutputPairs++
-	oc.res.OutputBytes += int64(len(enc))
+	oc.res.OutputBytes += int64(encLen)
 	// Summing per-pair hashes keeps the digest independent of emission
 	// order (reducers finish in nondeterministic-looking but seeded order)
 	// while still catching a duplicated or missing pair.
-	oc.res.OutputChecksum += pairHash(key, val)
-	oc.rt.Counters.Add(CtrOutputBytes, float64(len(enc)))
+	oc.res.OutputChecksum += sum
+	oc.rt.Counters.Add(CtrOutputBytes, float64(encLen))
 	if oc.job.RetainOutput {
-		oc.res.Output[string(key)] = string(val)
+		oc.res.Output[retKey] = retVal
 	}
 }
 
@@ -82,7 +94,7 @@ func (oc *OutputCollector) Close(p *sim.Proc, r int) {
 		return
 	}
 	w.append(p, w.buf)
-	w.buf = nil
+	w.buf = w.buf[:0]
 }
 
 // NoteSnapshot records an early-answer snapshot on the result.

@@ -52,12 +52,19 @@ func NewMapOutput(p *sim.Proc, store *disk.Store, name string, taskID, node, par
 		PartOff: make([]int64, parts), PartLen: make([]int64, parts),
 		Pushed: make([]bool, parts), Delivered: make([]int, parts),
 	}
-	var all []byte
+	// Collect the partitions first so the concatenated file is allocated at
+	// its exact size instead of doubling up to it.
+	encs := make([][]byte, parts)
+	total := 0
 	for r := 0; r < parts; r++ {
-		enc := encoded(r)
+		encs[r] = encoded(r)
+		total += len(encs[r])
+	}
+	all := make([]byte, 0, total)
+	for r := 0; r < parts; r++ {
 		out.PartOff[r] = int64(len(all))
-		out.PartLen[r] = int64(len(enc))
-		all = append(all, enc...)
+		out.PartLen[r] = int64(len(encs[r]))
+		all = append(all, encs[r]...)
 	}
 	out.File = store.Create(name, false)
 	if len(all) > 0 {
@@ -314,9 +321,12 @@ type PushChunk struct {
 // and the mapper stages the chunk to local disk instead — MapReduce
 // Online's adaptive flow control (§III.D).
 type PushChannel struct {
-	rt          *Runtime
-	reducer     int
+	rt      *Runtime
+	reducer int
+	// queue is FIFO with an explicit head index; popped slots are zeroed and
+	// the backing array is rewound or compacted instead of reallocated.
 	queue       []PushChunk
+	head        int
 	queuedBytes int64
 	limit       int64
 	trig        *sim.Trigger
@@ -377,14 +387,23 @@ func (pc *PushChannel) TryPush(p *sim.Proc, fromNode, toNode, mapTask, seq int, 
 // Pop blocks p until a chunk is available or the channel is closed and
 // drained; ok=false means end of stream.
 func (pc *PushChannel) Pop(p *sim.Proc) (PushChunk, bool) {
-	for len(pc.queue) == 0 {
+	for pc.head == len(pc.queue) {
 		if pc.closed {
 			return PushChunk{}, false
 		}
 		pc.trig.Wait(p)
 	}
-	c := pc.queue[0]
-	pc.queue = pc.queue[1:]
+	c := pc.queue[pc.head]
+	pc.queue[pc.head] = PushChunk{} // release the chunk data reference
+	pc.head++
+	if pc.head == len(pc.queue) {
+		pc.queue = pc.queue[:0]
+		pc.head = 0
+	} else if pc.head >= 64 && pc.head*2 >= len(pc.queue) {
+		n := copy(pc.queue, pc.queue[pc.head:])
+		pc.queue = pc.queue[:n]
+		pc.head = 0
+	}
 	pc.queuedBytes -= int64(len(c.Data))
 	pc.trig.Broadcast() // wake throttled producers polling for space
 	return c, true

@@ -63,17 +63,17 @@ func (c ClickConfig) Block(block int, size int64) []byte {
 	urls := rand.NewZipf(rng, c.URLSkew, 1, uint64(c.URLs-1))
 	out := make([]byte, 0, size)
 	ts := c.BaseTime + uint32(block)
-	var urlBuf []byte
+	var urlBuf, rec []byte
 	for {
 		urlBuf = urlBuf[:0]
 		urlBuf = append(urlBuf, "/en/page/"...)
 		urlBuf = strconv.AppendUint(urlBuf, urls.Uint64(), 10)
 		click := textfmt.Click{Time: ts, User: uint32(users.Uint64()), URL: urlBuf}
-		var rec []byte
+		rec = rec[:0]
 		if c.Binary {
-			rec = textfmt.AppendClickBinary(nil, click)
+			rec = textfmt.AppendClickBinary(rec, click)
 		} else {
-			rec = textfmt.AppendClickText(nil, click)
+			rec = textfmt.AppendClickText(rec, click)
 		}
 		if int64(len(out)+len(rec)) > size {
 			return out

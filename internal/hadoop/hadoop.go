@@ -28,7 +28,7 @@ const PartitionSeed = 42
 
 // Partitioner returns the shared cross-engine partitioner.
 func Partitioner() engine.Partitioner {
-	h := hashlib.NewAt(PartitionSeed, 0)
+	h := hashlib.Shared(PartitionSeed, 0)
 	return func(key []byte, n int) int { return h.Bucket(key, n) }
 }
 

@@ -65,30 +65,23 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 	}
 	span := rs.rt.Timeline.Begin(engine.SpanMerge, p.Now())
 	var cmps int64
-	var out []byte
+	// The spill can never exceed the buffered bytes (combining only
+	// shrinks it), so size the output once instead of growing it.
+	out := make([]byte, 0, rs.Acc.Bytes())
 	emit := func(k, v []byte) {
 		out = kv.AppendPair(out, k, v)
 	}
 	if rs.job.Combine != nil {
-		var curKey []byte
-		var vals [][]byte
+		var g kv.Grouper
 		combineInputs := 0
-		flush := func() {
-			if curKey == nil {
-				return
-			}
-			rs.job.Combine(curKey, vals, emit)
+		combine := func(key []byte, vals [][]byte) {
+			rs.job.Combine(key, vals, emit)
 			combineInputs += len(vals)
-			curKey, vals = nil, nil
 		}
 		kv.MergeStreams(rs.Acc.Streams(), &cmps, func(k, v []byte) {
-			if curKey == nil || kv.Compare(curKey, k, nil) != 0 {
-				flush()
-				curKey = append([]byte(nil), k...)
-			}
-			vals = append(vals, append([]byte(nil), v...))
+			g.Add(k, v, nil, combine)
 		})
-		flush()
+		g.Flush(combine)
 		rs.node.Compute(p, engine.Dur(float64(combineInputs), rs.costs.CombineNsPerRecord), engine.PhaseCombine)
 	} else {
 		kv.MergeStreams(rs.Acc.Streams(), &cmps, emit)
@@ -153,24 +146,15 @@ func (rs *ReduceSide) Finish(p *sim.Proc, oc *engine.OutputCollector) {
 // MergeGroupReduce merges sorted streams, groups equal keys, and applies
 // the job's reduce function, returning comparison and input-value counts.
 func MergeGroupReduce(streams []kv.PairStream, job *engine.Job, emit engine.Emit) (cmps int64, inputs int) {
-	var curKey []byte
-	var vals [][]byte
-	flush := func() {
-		if curKey == nil {
-			return
-		}
-		job.Reduce(curKey, vals, emit)
+	var g kv.Grouper
+	reduce := func(key []byte, vals [][]byte) {
+		job.Reduce(key, vals, emit)
 		inputs += len(vals)
-		curKey, vals = nil, nil
 	}
 	kv.MergeStreams(streams, &cmps, func(k, v []byte) {
-		if curKey == nil || kv.Compare(curKey, k, nil) != 0 {
-			flush()
-			curKey = append([]byte(nil), k...)
-		}
-		vals = append(vals, append([]byte(nil), v...))
+		g.Add(k, v, nil, reduce)
 	})
-	flush()
+	g.Flush(reduce)
 	return cmps, inputs
 }
 

@@ -11,6 +11,8 @@
 // per function.
 package hashlib
 
+import "sync"
+
 // tabWidth is the number of byte-position tables; positions beyond it wrap
 // with a rotation so long keys still mix well.
 const tabWidth = 16
@@ -59,6 +61,27 @@ func NewAt(seed uint64, i int) *Func {
 	for j := 0; j <= i; j++ {
 		fn = f.New()
 	}
+	return fn
+}
+
+var (
+	sharedMu    sync.Mutex
+	sharedFuncs = map[[2]uint64]*Func{}
+)
+
+// Shared returns NewAt(seed, i) from a process-wide cache. A Func is
+// immutable once built, so sharing one instance across tasks and concurrent
+// runs is safe — and avoids regenerating the 32 KB tabulation tables for
+// every hash-table the engines construct.
+func Shared(seed uint64, i int) *Func {
+	k := [2]uint64{seed, uint64(i)}
+	sharedMu.Lock()
+	fn := sharedFuncs[k]
+	if fn == nil {
+		fn = NewAt(seed, i)
+		sharedFuncs[k] = fn
+	}
+	sharedMu.Unlock()
 	return fn
 }
 

@@ -1,0 +1,62 @@
+package kv
+
+import "testing"
+
+// Allocation budgets: these hot paths run once per record in every engine,
+// so a single stray allocation multiplies into millions per run. The
+// budgets fail `go test` locally, before CI's benchmark ratchet sees it.
+
+func TestAllocBudgetAppendDecodePair(t *testing.T) {
+	key := []byte("user-0012345")
+	val := []byte("8,1754390400")
+	buf := make([]byte, 0, 256)
+	avg := testing.AllocsPerRun(1000, func() {
+		buf = buf[:0]
+		buf = AppendPair(buf, key, val)
+		k, v, n := DecodePair(buf)
+		if n == 0 || len(k) != len(key) || len(v) != len(val) {
+			t.Fatal("round-trip failed")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("encode+decode allocates %.1f/op, budget 0", avg)
+	}
+}
+
+func TestAllocBudgetBufferAdd(t *testing.T) {
+	b := NewBuffer(1 << 20)
+	key := []byte("user-0012345")
+	val := []byte("1")
+	avg := testing.AllocsPerRun(1000, func() {
+		b.Reset()
+		for i := 0; i < 16; i++ {
+			b.Add(i%4, key, val)
+		}
+	})
+	// Steady-state adds reuse the buffer's data and ref slices entirely.
+	if avg != 0 {
+		t.Fatalf("Buffer.Add allocates %.1f/op, budget 0", avg)
+	}
+}
+
+func TestAllocBudgetGrouper(t *testing.T) {
+	keys := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+	val := []byte("1")
+	var g Grouper
+	sink := func(key []byte, vals [][]byte) {}
+	// Warm up so the grouper's staging buffers reach steady-state size.
+	for _, k := range keys {
+		g.Add(k, val, nil, sink)
+	}
+	g.Flush(sink)
+	avg := testing.AllocsPerRun(1000, func() {
+		for _, k := range keys {
+			g.Add(k, val, nil, sink)
+			g.Add(k, val, nil, sink)
+		}
+		g.Flush(sink)
+	})
+	if avg != 0 {
+		t.Fatalf("Grouper allocates %.1f/op, budget 0", avg)
+	}
+}

@@ -89,9 +89,15 @@ func (b *Buffer) PartitionRange(p int) (lo, hi int) {
 	return lo, hi
 }
 
-// EncodeRange returns the encoded bytes of pairs [lo, hi).
+// EncodeRange returns the encoded bytes of pairs [lo, hi), sized exactly up
+// front so the result carries no append-growth slack.
 func (b *Buffer) EncodeRange(lo, hi int) []byte {
-	var out []byte
+	size := 0
+	for i := lo; i < hi; i++ {
+		r := b.refs[i]
+		size += EncodedSize(b.data[r.off:r.off+r.klen], b.data[r.off+r.klen:r.off+r.klen+r.vlen])
+	}
+	out := make([]byte, 0, size)
 	for i := lo; i < hi; i++ {
 		out = AppendPair(out, b.Key(i), b.Val(i))
 	}

@@ -193,30 +193,66 @@ func MergeStreams(streams []PairStream, counter *int64, emit func(key, val []byt
 	}
 }
 
+// Grouper accumulates consecutive equal-key pairs into reused staging
+// buffers and hands each completed group to a callback. It replaces the
+// per-pair key/value copies the reduce-side group-by used to make: the key
+// and value payloads are copied once into buffers owned by the Grouper (so
+// they survive the source stream advancing), and those buffers are recycled
+// from one group to the next. Callbacks must not retain key or vals past
+// their return.
+type Grouper struct {
+	key      []byte // current group's key, copied out of the stream
+	valBytes []byte // concatenated value payloads of the current group
+	bounds   []int  // value i spans valBytes[bounds[i]:bounds[i+1]]
+	vals     [][]byte
+	have     bool
+}
+
+// Add feeds one pair in sorted order. When k starts a new group, the
+// previous group is flushed to fn first. Comparisons are counted into
+// counter (nil allowed).
+func (g *Grouper) Add(k, v []byte, counter *int64, fn func(key []byte, vals [][]byte)) {
+	if !g.have || Compare(g.key, k, counter) != 0 {
+		g.Flush(fn)
+		g.key = append(g.key[:0], k...)
+		g.have = true
+	}
+	g.valBytes = append(g.valBytes, v...)
+	g.bounds = append(g.bounds, len(g.valBytes))
+}
+
+// Flush emits the pending group, if any, and resets the staging buffers.
+func (g *Grouper) Flush(fn func(key []byte, vals [][]byte)) {
+	if !g.have {
+		return
+	}
+	// Materialize vals only now: valBytes may have been reallocated by
+	// growth while the group was accumulating.
+	g.vals = g.vals[:0]
+	start := 0
+	for _, end := range g.bounds {
+		g.vals = append(g.vals, g.valBytes[start:end])
+		start = end
+	}
+	fn(g.key, g.vals)
+	g.valBytes = g.valBytes[:0]
+	g.bounds = g.bounds[:0]
+	g.have = false
+}
+
 // GroupSorted walks a sorted stream and invokes fn once per distinct key
 // with all its values, in order — the reduce-side grouping over a merged
-// run. Value slices are copied, so they survive the stream advancing.
+// run. Keys and values are staged in buffers reused from one group to the
+// next (see Grouper): fn must not retain key or vals past its return.
 func GroupSorted(s PairStream, counter *int64, fn func(key []byte, vals [][]byte)) {
-	var curKey []byte
-	var vals [][]byte
-	haveKey := false
+	var g Grouper
 	for {
 		k, v, ok := s.Peek()
 		if !ok {
 			break
 		}
-		if !haveKey || Compare(curKey, k, counter) != 0 {
-			if haveKey {
-				fn(curKey, vals)
-			}
-			curKey = append([]byte(nil), k...)
-			vals = nil
-			haveKey = true
-		}
-		vals = append(vals, append([]byte(nil), v...))
+		g.Add(k, v, counter, fn)
 		s.Advance()
 	}
-	if haveKey {
-		fn(curKey, vals)
-	}
+	g.Flush(fn)
 }

@@ -1,0 +1,58 @@
+package memtable
+
+import (
+	"fmt"
+	"testing"
+
+	"onepass/internal/hashlib"
+)
+
+// Allocation budgets for the per-record table paths. Insert exercises the
+// Reset-recycling contract: once slots and arena slabs exist, a fill/reset
+// cycle must allocate nothing.
+
+func allocKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user-%07d", i))
+	}
+	return keys
+}
+
+func TestAllocBudgetInsertResetCycle(t *testing.T) {
+	keys := allocKeys(128)
+	tb := NewTable(hashlib.NewFamily(1).New(), NewArena(0), 256)
+	fill := func() {
+		for _, k := range keys {
+			tb.Add(k, 1)
+		}
+	}
+	fill() // warm-up allocates the slab and settles the slot array
+	tb.Reset()
+	avg := testing.AllocsPerRun(100, func() {
+		fill()
+		tb.Reset()
+	})
+	if avg != 0 {
+		t.Fatalf("insert+reset cycle allocates %.1f/op, budget 0", avg)
+	}
+}
+
+func TestAllocBudgetUpdateAndGet(t *testing.T) {
+	keys := allocKeys(128)
+	tb := NewTable(hashlib.NewFamily(1).New(), NewArena(0), 256)
+	for _, k := range keys {
+		tb.Add(k, 1)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		for _, k := range keys {
+			tb.Add(k, 1)
+			if _, ok := tb.Get(k); !ok {
+				t.Fatal("key lost")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("update+get allocates %.1f/op, budget 0", avg)
+	}
+}

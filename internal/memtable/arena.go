@@ -15,6 +15,9 @@ type Arena struct {
 	slabs    [][]byte
 	cur      []byte
 	used     int64
+	// free holds standard-size slabs recycled by Reset, already zeroed so
+	// Alloc's zeroed-slice contract holds without touching them again.
+	free [][]byte
 }
 
 // DefaultSlabSize is 256 KB: big enough to amortize slab overhead, small
@@ -43,7 +46,13 @@ func (a *Arena) Alloc(n int) []byte {
 		return slab
 	}
 	if len(a.cur) < n {
-		a.cur = make([]byte, a.slabSize)
+		if k := len(a.free); k > 0 {
+			a.cur = a.free[k-1]
+			a.free[k-1] = nil
+			a.free = a.free[:k-1]
+		} else {
+			a.cur = make([]byte, a.slabSize)
+		}
 		a.slabs = append(a.slabs, a.cur)
 	}
 	out := a.cur[:n:n]
@@ -74,9 +83,19 @@ func (a *Arena) Footprint() int64 {
 }
 
 // Reset discards all allocations. Previously returned slices must no longer
-// be used; slabs are released to the garbage collector.
+// be used. Standard-size slabs are zeroed and kept for reuse; oversized
+// dedicated slabs are released to the garbage collector.
 func (a *Arena) Reset() {
-	a.slabs = nil
+	for i, s := range a.slabs {
+		if len(s) == a.slabSize {
+			for j := range s {
+				s[j] = 0
+			}
+			a.free = append(a.free, s)
+		}
+		a.slabs[i] = nil
+	}
+	a.slabs = a.slabs[:0]
 	a.cur = nil
 	a.used = 0
 }

@@ -171,6 +171,17 @@ func (t *Table) SetValue(key []byte, val uint64) bool {
 	return true
 }
 
+// Reset empties the table in place: the slot array is cleared and kept, and
+// the arena's slabs are recycled, so a reused table refills without
+// reallocating. Keys previously returned by Iterate must not be retained.
+func (t *Table) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.live, t.tombs = 0, 0
+	t.arena.Reset()
+}
+
 func (t *Table) maybeGrow() {
 	if (t.live+t.tombs)*10 < len(t.entries)*7 {
 		return

@@ -15,8 +15,12 @@ type Resource struct {
 	name string
 	cap  int
 
-	inUse   int
-	waiters []*resWaiter
+	inUse int
+	// waiters is a FIFO queue stored by value: head indexes the next waiter
+	// to grant, and entries are compacted in place rather than allocated per
+	// blocked Acquire.
+	waiters []resWaiter
+	head    int
 
 	lastChange    Time
 	busyIntegral  float64 // unit-seconds of use
@@ -29,9 +33,8 @@ type Resource struct {
 }
 
 type resWaiter struct {
-	p       *Proc
-	n       int
-	granted bool
+	p *Proc
+	n int
 }
 
 // NewResource returns a resource with the given capacity.
@@ -51,10 +54,8 @@ func (r *Resource) InUse() int { return r.inUse }
 // Waiting returns the total units requested by blocked acquirers.
 func (r *Resource) Waiting() int {
 	total := 0
-	for _, w := range r.waiters {
-		if !w.granted {
-			total += w.n
-		}
+	for _, w := range r.waiters[r.head:] {
+		total += w.n
 	}
 	return total
 }
@@ -98,18 +99,19 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		panic(fmt.Sprintf("sim: acquire %d exceeds capacity %d of %q", n, r.cap, r.name))
 	}
 	r.advance()
-	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+	if r.head == len(r.waiters) && r.inUse+n <= r.cap {
 		r.inUse += n
 		r.changed()
 		return
 	}
-	w := &resWaiter{p: p, n: n}
-	r.waiters = append(r.waiters, w)
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
 	r.changed()
-	p.block(fmt.Sprintf("resource %s (%d units)", r.name, n))
-	if !w.granted {
+	p.granted = false
+	p.block(blockResource, r.name, int64(n))
+	if !p.granted {
 		panic(fmt.Sprintf("sim: process %s woken without grant on %q", p.name, r.name))
 	}
+	p.granted = false
 }
 
 // Release returns n units and grants queued waiters in FIFO order.
@@ -122,15 +124,27 @@ func (r *Resource) Release(n int) {
 	if r.inUse < 0 {
 		panic(fmt.Sprintf("sim: over-release of %q", r.name))
 	}
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.head < len(r.waiters) {
+		w := r.waiters[r.head]
 		if r.inUse+w.n > r.cap {
 			break
 		}
 		r.inUse += w.n
-		w.granted = true
-		r.waiters = r.waiters[1:]
+		w.p.granted = true
+		r.waiters[r.head] = resWaiter{} // release the *Proc reference
+		r.head++
 		r.env.schedule(w.p, r.env.now)
+	}
+	if r.head == len(r.waiters) {
+		// Queue drained: rewind so the backing array is reused.
+		r.waiters = r.waiters[:0]
+		r.head = 0
+	} else if r.head >= 64 && r.head*2 >= len(r.waiters) {
+		// Compact occasionally so a never-empty queue cannot grow without
+		// bound behind the head index.
+		n := copy(r.waiters, r.waiters[r.head:])
+		r.waiters = r.waiters[:n]
+		r.head = 0
 	}
 	r.changed()
 }

@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -64,23 +63,58 @@ type event struct {
 	canceled *bool // optional cancellation flag shared with the scheduler
 }
 
+// eventHeap is a binary min-heap ordered by (at, seq). It is typed rather
+// than backed by container/heap so that pushing an event does not box it in
+// an interface{} — the event queue is the single hottest allocation site in
+// the simulator, and the slice's capacity is reused across the whole run.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the *Proc reference so it can be collected
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Env is a simulation environment: a virtual clock plus the set of processes
@@ -118,7 +152,7 @@ func (e *Env) schedule(p *Proc, at Time) {
 	if at < e.now {
 		at = e.now
 	}
-	heap.Push(&e.events, event{at: at, seq: e.nextSeq(), p: p})
+	e.events.push(event{at: at, seq: e.nextSeq(), p: p})
 }
 
 // scheduleCancelable schedules a resumption that is skipped at pop time if
@@ -127,8 +161,23 @@ func (e *Env) scheduleCancelable(p *Proc, at Time, canceled *bool) {
 	if at < e.now {
 		at = e.now
 	}
-	heap.Push(&e.events, event{at: at, seq: e.nextSeq(), p: p, canceled: canceled})
+	e.events.push(event{at: at, seq: e.nextSeq(), p: p, canceled: canceled})
 }
+
+// blockKind classifies what a blocked process is waiting for. Together with
+// blockName/blockArg it carries enough to render a deadlock diagnostic
+// without formatting a string on every block — blocking is the single most
+// frequent operation in the simulator, and the description is only ever read
+// on the (fatal) deadlock path.
+type blockKind uint8
+
+const (
+	blockNone blockKind = iota
+	blockSleep
+	blockTrigger
+	blockTriggerTimeout
+	blockResource
+)
 
 // Proc is a simulation process. All blocking methods must be called from the
 // goroutine running the process body.
@@ -136,9 +185,32 @@ type Proc struct {
 	env    *Env
 	name   string
 	resume chan struct{}
-	// blockedOn describes what the process is waiting for; used in deadlock
-	// diagnostics.
-	blockedOn string
+	// What the process is waiting for; used in deadlock diagnostics and
+	// formatted lazily (see blockedOn).
+	blockKind blockKind
+	blockName string
+	blockArg  int64
+	// granted is set by Resource.Release before rescheduling a waiter. It
+	// lives on the process rather than the wait queue entry because a process
+	// waits for at most one resource at a time, which lets the queue hold
+	// plain values instead of per-wait heap allocations.
+	granted bool
+}
+
+// blockedOn renders the deadlock diagnostic for the current block reason.
+func (p *Proc) blockedOn() string {
+	switch p.blockKind {
+	case blockSleep:
+		return fmt.Sprintf("sleep %v", Duration(p.blockArg))
+	case blockTrigger:
+		return "trigger " + p.blockName
+	case blockTriggerTimeout:
+		return fmt.Sprintf("trigger %s (timeout %v)", p.blockName, Duration(p.blockArg))
+	case blockResource:
+		return fmt.Sprintf("resource %s (%d units)", p.blockName, p.blockArg)
+	default:
+		return "nothing"
+	}
 }
 
 // Name returns the process name given at spawn time.
@@ -182,7 +254,7 @@ func (e *Env) Run() {
 	e.inRun = true
 	defer func() { e.inRun = false }()
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if ev.canceled != nil && *ev.canceled {
 			continue
 		}
@@ -196,19 +268,20 @@ func (e *Env) Run() {
 	if len(e.live) > 0 {
 		names := make([]string, 0, len(e.live))
 		for p := range e.live {
-			names = append(names, fmt.Sprintf("%s (waiting on %s)", p.name, p.blockedOn))
+			names = append(names, fmt.Sprintf("%s (waiting on %s)", p.name, p.blockedOn()))
 		}
 		sort.Strings(names)
 		panic(fmt.Sprintf("sim: deadlock at %v: %d blocked processes: %v", e.now, len(names), names))
 	}
 }
 
-// block suspends the process until some other agent schedules it again.
-func (p *Proc) block(what string) {
-	p.blockedOn = what
+// block suspends the process until some other agent schedules it again. The
+// kind/name/arg triple describes the wait for deadlock diagnostics.
+func (p *Proc) block(kind blockKind, name string, arg int64) {
+	p.blockKind, p.blockName, p.blockArg = kind, name, arg
 	p.env.yield <- struct{}{}
 	<-p.resume
-	p.blockedOn = ""
+	p.blockKind, p.blockName, p.blockArg = blockNone, "", 0
 }
 
 // Sleep advances the process by d of virtual time. Negative durations are
@@ -219,7 +292,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	p.env.schedule(p, p.env.now.Add(d))
-	p.block(fmt.Sprintf("sleep %v", d))
+	p.block(blockSleep, "", int64(d))
 }
 
 // Yield lets all other events scheduled at the current instant run before
@@ -252,7 +325,7 @@ func (e *Env) NewTrigger(name string) *Trigger {
 // Wait blocks p until the next Broadcast.
 func (t *Trigger) Wait(p *Proc) {
 	t.waiters = append(t.waiters, p)
-	p.block("trigger " + t.name)
+	p.block(blockTrigger, t.name, 0)
 }
 
 // WaitTimeout blocks p until the next Broadcast or until d elapses,
@@ -267,7 +340,7 @@ func (t *Trigger) WaitTimeout(p *Proc, d Duration) (fired bool) {
 	done := false
 	t.env.scheduleCancelable(p, t.env.now.Add(d), &done)
 	t.timed = append(t.timed, timedWaiter{p: p, done: &done})
-	p.block(fmt.Sprintf("trigger %s (timeout %v)", t.name, d))
+	p.block(blockTriggerTimeout, t.name, int64(d))
 	if done {
 		return true
 	}

@@ -1,0 +1,41 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Allocation budget for the sketch hit path: the hot-key engine calls Offer
+// once per shuffled record, and almost every call in a skewed stream hits an
+// already-tracked key. That path must not allocate.
+
+func TestAllocBudgetOfferHit(t *testing.T) {
+	s := NewSpaceSaving(64)
+	keys := make([][]byte, 32)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("hot-%03d", i))
+		s.Offer(keys[i], 1)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		for _, k := range keys {
+			s.Offer(k, 1)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("tracked-key Offer allocates %.1f/op, budget 0", avg)
+	}
+}
+
+func TestAllocBudgetEstimate(t *testing.T) {
+	s := NewSpaceSaving(64)
+	key := []byte("hot-000")
+	s.Offer(key, 3)
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := s.Estimate(key); !ok {
+			t.Fatal("key lost")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Estimate allocates %.1f/op, budget 0", avg)
+	}
+}

@@ -58,7 +58,16 @@ type SpaceSaving struct {
 	k     int
 	items map[string]*item
 	heap  itemHeap
-	n     uint64
+	// slots preallocates all k counters: the sketch's footprint is fixed by
+	// construction, so after warm-up no item structs are ever allocated —
+	// evictions recycle the minimum counter in place.
+	slots []item
+	// intern caches owned strings for keys that have been tracked, so a key
+	// that churns in and out of the counter set (the moderately hot tail)
+	// does not reallocate its string on every re-entry. Bounded: cleared
+	// when it outgrows a small multiple of k.
+	intern map[string]string
+	n      uint64
 }
 
 // NewSpaceSaving returns a sketch with k counters. The frequency guarantee
@@ -67,7 +76,27 @@ func NewSpaceSaving(k int) *SpaceSaving {
 	if k <= 0 {
 		panic("sketch: k must be positive")
 	}
-	return &SpaceSaving{k: k, items: make(map[string]*item, k)}
+	return &SpaceSaving{
+		k:      k,
+		items:  make(map[string]*item, k),
+		heap:   make(itemHeap, 0, k),
+		slots:  make([]item, k),
+		intern: make(map[string]string, k),
+	}
+}
+
+// internKey returns an owned string for key, reusing a prior allocation when
+// the key has been tracked before.
+func (s *SpaceSaving) internKey(key []byte) string {
+	if v, ok := s.intern[string(key)]; ok {
+		return v
+	}
+	if len(s.intern) >= 4*s.k {
+		s.intern = make(map[string]string, s.k)
+	}
+	v := string(key)
+	s.intern[v] = v
+	return v
 }
 
 // K returns the number of counters.
@@ -92,18 +121,20 @@ func (s *SpaceSaving) Offer(key []byte, weight uint64) {
 		return
 	}
 	if len(s.items) < s.k {
-		it := &item{key: string(key), count: weight}
+		it := &s.slots[len(s.heap)]
+		*it = item{key: s.internKey(key), count: weight}
 		s.items[it.key] = it
 		heap.Push(&s.heap, it)
 		return
 	}
-	// Replace the current minimum: the newcomer inherits its count as the
-	// error bound, the classic SpaceSaving step.
+	// Replace the current minimum in place: the newcomer inherits its count
+	// as the error bound, the classic SpaceSaving step.
 	min := s.heap[0]
 	delete(s.items, min.key)
-	it := &item{key: string(key), count: min.count + weight, err: min.count, idx: 0}
-	s.items[it.key] = it
-	s.heap[0] = it
+	min.err = min.count
+	min.count += weight
+	min.key = s.internKey(key)
+	s.items[min.key] = min
 	heap.Fix(&s.heap, 0)
 }
 

@@ -38,13 +38,16 @@ func WriteRun(p *sim.Proc, store *disk.Store, name string, encoded []byte) *Run 
 // Stream reads a run back as a kv.PairStream, charging a random read per
 // buffer refill — the k-way merge access pattern on a spindle.
 type Stream struct {
-	p       *sim.Proc
-	r       *disk.Reader
-	pending []byte
-	key     []byte
-	val     []byte
-	valid   bool
-	done    bool
+	p *sim.Proc
+	r *disk.Reader
+	// buf[off:] holds undecoded bytes; on refill the remainder is copied to
+	// the front so the buffer is reused instead of reallocated per refill.
+	buf   []byte
+	off   int
+	key   []byte
+	val   []byte
+	valid bool
+	done  bool
 }
 
 // streamBuf is the per-run merge buffer size (Hadoop's io.file.buffer.size
@@ -65,22 +68,26 @@ func (s *Stream) Peek() ([]byte, []byte, bool) {
 		return nil, nil, false
 	}
 	for {
-		k, v, n := kv.DecodePair(s.pending)
+		k, v, n := kv.DecodePair(s.buf[s.off:])
 		if n > 0 {
 			s.key, s.val = k, v
-			s.pending = s.pending[n:]
+			s.off += n
 			s.valid = true
 			return s.key, s.val, true
 		}
 		chunk := s.r.Next(s.p, streamBuf)
 		if chunk == nil {
-			if len(s.pending) != 0 {
+			if s.off != len(s.buf) {
 				panic("sortmerge: trailing partial record in run")
 			}
 			s.done = true
 			return nil, nil, false
 		}
-		s.pending = append(s.pending, chunk...)
+		// The previous pair has been consumed (valid is false), so the
+		// remainder can move: compact it to the front, then append.
+		rest := copy(s.buf, s.buf[s.off:])
+		s.buf = append(s.buf[:rest], chunk...)
+		s.off = 0
 	}
 }
 
@@ -145,7 +152,9 @@ func (m *Merger) MergePass(p *sim.Proc) *Run {
 		streams[i] = NewStream(p, r)
 		inBytes += r.Size()
 	}
-	var out []byte
+	// A merge pass rewrites its inputs verbatim, so the output is exactly
+	// inBytes — allocate it once.
+	out := make([]byte, 0, inBytes)
 	kv.MergeStreams(streams, &m.Comparisons, func(k, v []byte) {
 		out = kv.AppendPair(out, k, v)
 	})

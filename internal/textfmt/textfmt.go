@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -30,6 +31,26 @@ func AppendClickText(dst []byte, c Click) []byte {
 	return append(dst, '\n')
 }
 
+// parseUint32 parses a base-10 uint32 from b without converting to string
+// (strconv.ParseUint(string(b), ...) would allocate once per call, and this
+// runs for every field of every text record).
+func parseUint32(b []byte) (uint32, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+		if n > math.MaxUint32 {
+			return 0, false
+		}
+	}
+	return uint32(n), true
+}
+
 // ParseClickText parses one text line (without requiring the trailing
 // newline). The returned URL aliases line.
 func ParseClickText(line []byte) (Click, error) {
@@ -43,19 +64,19 @@ func ParseClickText(line []byte) (Click, error) {
 		return Click{}, fmt.Errorf("textfmt: malformed click %q", line)
 	}
 	sp2 += sp1 + 1
-	ts, err := strconv.ParseUint(string(line[:sp1]), 10, 32)
-	if err != nil {
-		return Click{}, fmt.Errorf("textfmt: bad timestamp in %q: %v", line, err)
+	ts, ok := parseUint32(line[:sp1])
+	if !ok {
+		return Click{}, fmt.Errorf("textfmt: bad timestamp in %q", line)
 	}
 	userField := line[sp1+1 : sp2]
 	if len(userField) < 2 || userField[0] != 'u' {
 		return Click{}, fmt.Errorf("textfmt: bad user in %q", line)
 	}
-	user, err := strconv.ParseUint(string(userField[1:]), 10, 32)
-	if err != nil {
-		return Click{}, fmt.Errorf("textfmt: bad user in %q: %v", line, err)
+	user, ok := parseUint32(userField[1:])
+	if !ok {
+		return Click{}, fmt.Errorf("textfmt: bad user in %q", line)
 	}
-	return Click{Time: uint32(ts), User: uint32(user), URL: line[sp2+1:]}, nil
+	return Click{Time: ts, User: user, URL: line[sp2+1:]}, nil
 }
 
 // AppendClickBinary appends the binary encoding:
@@ -116,14 +137,36 @@ func AppendDocText(dst []byte, d Doc) []byte {
 
 // ParseDocText parses one document line. Word slices alias line.
 func ParseDocText(line []byte) (Doc, error) {
+	return ParseDocTextInto(line, nil)
+}
+
+// ParseDocTextInto is ParseDocText with a caller-supplied word slice that is
+// truncated and reused, so a streaming parser allocates nothing per record
+// once the slice has grown to the widest document. The returned Doc.Words
+// aliases both words and line.
+func ParseDocTextInto(line []byte, words [][]byte) (Doc, error) {
 	line = bytes.TrimSuffix(line, []byte("\n"))
 	if len(line) == 0 || line[0] != 'd' {
 		return Doc{}, fmt.Errorf("textfmt: malformed doc %q", line)
 	}
-	fields := bytes.Split(line, []byte(" "))
-	id, err := strconv.ParseUint(string(fields[0][1:]), 10, 32)
-	if err != nil {
-		return Doc{}, fmt.Errorf("textfmt: bad doc id in %q: %v", line, err)
+	idField := line
+	rest := []byte(nil)
+	if sp := bytes.IndexByte(line, ' '); sp >= 0 {
+		idField, rest = line[:sp], line[sp+1:]
 	}
-	return Doc{ID: uint32(id), Words: fields[1:]}, nil
+	id, ok := parseUint32(idField[1:])
+	if !ok {
+		return Doc{}, fmt.Errorf("textfmt: bad doc id in %q", line)
+	}
+	words = words[:0]
+	for len(rest) > 0 {
+		sp := bytes.IndexByte(rest, ' ')
+		if sp < 0 {
+			words = append(words, rest)
+			break
+		}
+		words = append(words, rest[:sp])
+		rest = rest[sp+1:]
+	}
+	return Doc{ID: id, Words: words}, nil
 }

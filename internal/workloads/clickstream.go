@@ -17,6 +17,9 @@ const SessionGap = 30 * 60
 // of it reorganized by user), no combiner.
 func Sessionization(cfg gen.ClickConfig) *Workload {
 	w := &Workload{Name: "sessionization", Gen: cfg.Block}
+	// Scratch buffers are per-Workload: emit targets copy immediately and the
+	// simulation runs one process at a time, so reuse across records is safe.
+	var keyBuf, valBuf []byte
 	w.Job = engine.Job{
 		Name:        w.Name,
 		Reader:      clickReader(cfg),
@@ -28,74 +31,85 @@ func Sessionization(cfg gen.ClickConfig) *Workload {
 			}
 			// key = user, value = "ts url" — everything needed to rebuild
 			// the ordered session stream.
-			key := appendUser(nil, c.User)
-			val := appendUint(nil, uint64(c.Time))
-			val = append(val, ' ')
-			val = append(val, c.URL...)
-			emit(key, val)
+			keyBuf = appendUser(keyBuf[:0], c.User)
+			valBuf = appendUint(valBuf[:0], uint64(c.Time))
+			valBuf = append(valBuf, ' ')
+			valBuf = append(valBuf, c.URL...)
+			emit(keyBuf, valBuf)
 		},
-		Reduce: sessionizeReduce,
+		Reduce: sessionizeReducer(),
 		Costs:  engine.CostModel{MapNsPerRecord: 240},
 	}
 	return w
 }
 
-// sessionizeReduce sorts one user's clicks by time and splits them into
-// sessions at SessionGap boundaries, emitting the reordered log:
-// "ts@url,ts@url|ts@url" with '|' separating sessions.
-func sessionizeReduce(key []byte, vals [][]byte, emit engine.Emit) {
-	type click struct {
-		ts  uint64
-		url []byte
-	}
-	clicks := make([]click, 0, len(vals))
-	for _, v := range vals {
-		sp := bytes.IndexByte(v, ' ')
-		if sp < 0 {
-			continue
-		}
-		clicks = append(clicks, click{ts: parseUint(v[:sp]), url: v[sp+1:]})
-	}
-	sort.Slice(clicks, func(i, j int) bool {
-		if clicks[i].ts != clicks[j].ts {
-			return clicks[i].ts < clicks[j].ts
-		}
-		return bytes.Compare(clicks[i].url, clicks[j].url) < 0
-	})
+// sessionClick is one parsed click inside sessionizeReducer.
+type sessionClick struct {
+	ts  uint64
+	url []byte
+}
+
+// sessionizeReducer returns a reducer that sorts one user's clicks by time
+// and splits them into sessions at SessionGap boundaries, emitting the
+// reordered log: "ts@url,ts@url|ts@url" with '|' separating sessions. The
+// clicks and output buffers persist across keys to avoid per-key churn.
+func sessionizeReducer() engine.ReduceFunc {
+	var clicks []sessionClick
 	var out []byte
-	for i, c := range clicks {
-		if i > 0 {
-			if c.ts-clicks[i-1].ts > SessionGap {
-				out = append(out, '|')
-			} else {
-				out = append(out, ',')
+	return func(key []byte, vals [][]byte, emit engine.Emit) {
+		clicks = clicks[:0]
+		for _, v := range vals {
+			sp := bytes.IndexByte(v, ' ')
+			if sp < 0 {
+				continue
 			}
+			clicks = append(clicks, sessionClick{ts: parseUint(v[:sp]), url: v[sp+1:]})
 		}
-		out = appendUint(out, c.ts)
-		out = append(out, '@')
-		out = append(out, c.url...)
+		sort.Slice(clicks, func(i, j int) bool {
+			if clicks[i].ts != clicks[j].ts {
+				return clicks[i].ts < clicks[j].ts
+			}
+			return bytes.Compare(clicks[i].url, clicks[j].url) < 0
+		})
+		out = out[:0]
+		for i, c := range clicks {
+			if i > 0 {
+				if c.ts-clicks[i-1].ts > SessionGap {
+					out = append(out, '|')
+				} else {
+					out = append(out, ',')
+				}
+			}
+			out = appendUint(out, c.ts)
+			out = append(out, '@')
+			out = append(out, c.url...)
+		}
+		emit(key, out)
 	}
-	emit(key, out)
 }
 
 // PageFrequency counts visits per URL (SELECT COUNT(*) GROUP BY url) — the
 // canonical combiner-friendly workload with tiny intermediate data.
 func PageFrequency(cfg gen.ClickConfig) *Workload {
-	return countingWorkload("page-frequency", cfg, func(c textfmt.Click) []byte {
-		return append([]byte(nil), c.URL...)
+	return countingWorkload("page-frequency", cfg, func(dst []byte, c textfmt.Click) []byte {
+		return append(dst, c.URL...)
 	}, 60)
 }
 
 // PerUserCount counts clicks per user — Table II's second column: a map
 // function so light that sorting takes nearly half the map-phase CPU.
 func PerUserCount(cfg gen.ClickConfig) *Workload {
-	return countingWorkload("per-user-count", cfg, func(c textfmt.Click) []byte {
-		return appendUser(nil, c.User)
+	return countingWorkload("per-user-count", cfg, func(dst []byte, c textfmt.Click) []byte {
+		return appendUser(dst, c.User)
 	}, 60)
 }
 
-func countingWorkload(name string, cfg gen.ClickConfig, key func(textfmt.Click) []byte, mapNs float64) *Workload {
+// one is the shared count value; emit targets copy, never mutate.
+var one = []byte{'1'}
+
+func countingWorkload(name string, cfg gen.ClickConfig, key func(dst []byte, c textfmt.Click) []byte, mapNs float64) *Workload {
 	w := &Workload{Name: name, Gen: cfg.Block}
+	var keyBuf []byte
 	w.Job = engine.Job{
 		Name:        name,
 		Reader:      clickReader(cfg),
@@ -105,18 +119,26 @@ func countingWorkload(name string, cfg gen.ClickConfig, key func(textfmt.Click) 
 			if !ok {
 				return
 			}
-			emit(key(c), []byte{'1'})
+			keyBuf = key(keyBuf[:0], c)
+			emit(keyBuf, one)
 		},
-		Combine: sumReduce,
-		Reduce:  sumReduce,
+		Combine: engine.CombineFunc(sumReducer()),
+		Reduce:  sumReducer(),
 		Agg:     CountAgg{},
 		Costs:   engine.CostModel{MapNsPerRecord: mapNs},
 	}
 	return w
 }
 
-func sumReduce(key []byte, vals [][]byte, emit engine.Emit) {
-	emit(key, appendUint(nil, sumValues(vals)))
+// sumReducer returns a fold over ASCII decimal values with a reused output
+// buffer. Combine and Reduce get separate instances so their scratch state
+// never interleaves.
+func sumReducer() engine.ReduceFunc {
+	var out []byte
+	return func(key []byte, vals [][]byte, emit engine.Emit) {
+		out = appendUint(out[:0], sumValues(vals))
+		emit(key, out)
+	}
 }
 
 func clickReader(cfg gen.ClickConfig) engine.RecordReader {

@@ -20,6 +20,7 @@ import (
 // so stage two can split group from member.
 func WindowedTopicCounts(cfg gen.ClickConfig, windowSecs uint32) *Workload {
 	w := &Workload{Name: "trending-counts", Gen: cfg.Block}
+	var keyBuf []byte
 	w.Job = engine.Job{
 		Name:        w.Name,
 		Reader:      clickReader(cfg),
@@ -29,13 +30,14 @@ func WindowedTopicCounts(cfg gen.ClickConfig, windowSecs uint32) *Workload {
 			if !ok {
 				return
 			}
-			key := append([]byte{'w'}, appendUint(nil, uint64(c.Time/windowSecs))...)
-			key = append(key, '|')
-			key = append(key, c.URL...)
-			emit(key, []byte{'1'})
+			keyBuf = append(keyBuf[:0], 'w')
+			keyBuf = appendUint(keyBuf, uint64(c.Time/windowSecs))
+			keyBuf = append(keyBuf, '|')
+			keyBuf = append(keyBuf, c.URL...)
+			emit(keyBuf, one)
 		},
-		Combine: sumReduce,
-		Reduce:  sumReduce,
+		Combine: engine.CombineFunc(sumReducer()),
+		Reduce:  sumReducer(),
 		Agg:     CountAgg{},
 		Costs:   engine.CostModel{MapNsPerRecord: 80},
 	}

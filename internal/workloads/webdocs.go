@@ -43,26 +43,30 @@ const postingWidth = 8
 func InvertedIndex(cfg gen.DocConfig) *Workload {
 	stopwords := StopwordThreshold(cfg)
 	w := &Workload{Name: "inverted-index", Gen: cfg.Block}
+	// Per-Workload scratch: the word slice and posting buffer are reused
+	// across records (emit copies, and the simulation is single-threaded).
+	var words [][]byte
+	posting := make([]byte, postingWidth)
 	w.Job = engine.Job{
 		Name:   w.Name,
 		Reader: LineReader,
 		Map: func(rec []byte, emit engine.Emit) {
-			d, err := textfmt.ParseDocText(rec)
+			d, err := textfmt.ParseDocTextInto(rec, words)
 			if err != nil {
 				return
 			}
-			var posting [postingWidth]byte
+			words = d.Words
 			for pos, word := range d.Words {
 				if isStopword(word, stopwords) {
 					continue
 				}
 				binary.BigEndian.PutUint32(posting[0:], d.ID)
 				binary.BigEndian.PutUint32(posting[4:], uint32(pos))
-				emit(word, posting[:])
+				emit(word, posting)
 			}
 		},
-		Combine: concatPostings,
-		Reduce:  reducePostings,
+		Combine: concatPostingsFunc(),
+		Reduce:  reducePostingsFunc(),
 		Agg:     PostingsAgg{},
 		Costs:   engine.CostModel{MapNsPerRecord: 2500, ReduceNsPerRecord: 30},
 	}
@@ -77,33 +81,60 @@ func isStopword(word []byte, threshold uint64) bool {
 	return parseUint(word[1:]) < threshold
 }
 
-// concatPostings merges the postings of one word into a single value —
-// partial aggregation that cuts per-record overhead in the shuffle.
-func concatPostings(key []byte, vals [][]byte, emit engine.Emit) {
+// concatPostingsFunc returns a combiner that merges the postings of one word
+// into a single value — partial aggregation that cuts per-record overhead in
+// the shuffle. The output buffer is reused across keys.
+func concatPostingsFunc() engine.CombineFunc {
 	var out []byte
-	splitFixed(vals, postingWidth, func(unit []byte) { out = append(out, unit...) })
-	emit(key, out)
+	return func(key []byte, vals [][]byte, emit engine.Emit) {
+		out = out[:0]
+		splitFixed(vals, postingWidth, func(unit []byte) { out = append(out, unit...) })
+		emit(key, out)
+	}
 }
 
-// reducePostings produces the canonical sorted posting list for one word.
-func reducePostings(key []byte, vals [][]byte, emit engine.Emit) {
+// reducePostingsFunc returns a reducer producing the canonical sorted
+// posting list for one word, with per-key scratch reused across keys.
+func reducePostingsFunc() engine.ReduceFunc {
 	var all []byte
-	splitFixed(vals, postingWidth, func(unit []byte) { all = append(all, unit...) })
-	emit(key, sortPostings(all))
+	var scratch postingScratch
+	return func(key []byte, vals [][]byte, emit engine.Emit) {
+		all = all[:0]
+		splitFixed(vals, postingWidth, func(unit []byte) { all = append(all, unit...) })
+		emit(key, scratch.sort(all))
+	}
 }
 
-func sortPostings(all []byte) []byte {
+// postingScratch holds the index and output buffers sortPostings needs, so
+// repeated sorts (one per reduced key) reuse them.
+type postingScratch struct {
+	idx []int
+	out []byte
+}
+
+func (s *postingScratch) sort(all []byte) []byte {
 	n := len(all) / postingWidth
-	idx := make([]int, n)
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	idx := s.idx[:n]
 	for i := range idx {
 		idx[i] = i * postingWidth
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		return bytes.Compare(all[idx[a]:idx[a]+postingWidth], all[idx[b]:idx[b]+postingWidth]) < 0
 	})
-	out := make([]byte, 0, len(all))
+	out := s.out[:0]
 	for _, off := range idx {
 		out = append(out, all[off:off+postingWidth]...)
 	}
+	s.out = out
 	return out
+}
+
+// sortPostings sorts a flat posting array into canonical order, allocating
+// fresh scratch — the convenience form used by PostingsAgg.Final.
+func sortPostings(all []byte) []byte {
+	var s postingScratch
+	return s.sort(all)
 }

@@ -62,7 +62,7 @@ func TestSessionizationSplitsAtGap(t *testing.T) {
 	vals = append(vals, []byte(fmt.Sprintf("%d /b", 1000+SessionGap)))     // same session (== gap)
 	vals = append(vals, []byte(fmt.Sprintf("%d /c", 1000+2*SessionGap+1))) // new session
 	var got string
-	sessionizeReduce([]byte("u1"), vals, func(k, v []byte) { got = string(v) })
+	sessionizeReducer()([]byte("u1"), vals, func(k, v []byte) { got = string(v) })
 	want := fmt.Sprintf("1000@/a,%d@/b|%d@/c", 1000+SessionGap, 1000+2*SessionGap+1)
 	if got != want {
 		t.Fatalf("sessions = %q, want %q", got, want)
@@ -72,7 +72,7 @@ func TestSessionizationSplitsAtGap(t *testing.T) {
 func TestSessionizationReduceSortsByTime(t *testing.T) {
 	vals := [][]byte{[]byte("300 /c"), []byte("100 /a"), []byte("200 /b")}
 	var got string
-	sessionizeReduce([]byte("u1"), vals, func(k, v []byte) { got = string(v) })
+	sessionizeReducer()([]byte("u1"), vals, func(k, v []byte) { got = string(v) })
 	if got != "100@/a,200@/b,300@/c" {
 		t.Fatalf("got %q", got)
 	}
