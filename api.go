@@ -171,6 +171,12 @@ type Config struct {
 
 	// RetainOutput keeps output pairs on the Result; DiscardOutput drops
 	// payloads entirely (sink mode for large benchmark runs).
+	//
+	// Precedence: job-level settings win. A Job that sets its own
+	// MemoryPerTask keeps it, and a Job that sets RetainOutput or
+	// DiscardOutput keeps both; the Config values apply only when the job
+	// leaves the corresponding fields zero. Run and Cluster.RunJob share
+	// these semantics.
 	RetainOutput  bool
 	DiscardOutput bool
 
@@ -184,6 +190,16 @@ type Config struct {
 	// All engines honor it; the same schedule and input yield byte-identical
 	// grouped output with and without faults.
 	Faults FaultSchedule
+
+	// Audit arms the runtime invariant audits: end-of-run conservation
+	// checks (map output vs shuffle delivery net of combine savings, spill
+	// bytes written vs read back, task launch/completion accounting),
+	// simulation leak checks (resources held, disk queues, stranded scratch
+	// files, live processes), and trace span closure. A violated invariant
+	// makes Run/RunJob return an error with node/task attribution alongside
+	// the completed Result. The disarmed path costs nothing and audited runs
+	// stay byte-identical to unaudited ones.
+	Audit bool
 }
 
 // DefaultConfig mirrors the paper's testbed at simulation scale.
@@ -242,33 +258,54 @@ func Run(cfg Config, data Dataset, job Job) (*Result, error) {
 		return nil, err
 	}
 	rt := engine.NewRuntime(env, cl, d)
-	rt.Tracer = cfg.Trace
 
 	job.InputPath = data.Path
 	if job.OutputPath == "" {
 		job.OutputPath = "out/" + job.Name
 	}
+	cfg.applyJobDefaults(&job, len(cl.ComputeNodes()))
+	return dispatch(cfg, rt, job)
+}
+
+// applyJobDefaults fills job fields from the config without clobbering
+// job-level settings — job-level wins, as documented on Config. Run and
+// Cluster.RunJob both default through here so precedence cannot drift.
+func (c Config) applyJobDefaults(job *Job, computeNodes int) {
 	if job.Reducers <= 0 {
-		if cfg.Reducers > 0 {
-			job.Reducers = cfg.Reducers
+		if c.Reducers > 0 {
+			job.Reducers = c.Reducers
 		} else {
-			job.Reducers = 2 * len(cl.ComputeNodes())
+			job.Reducers = 2 * computeNodes
 		}
 	}
-	if cfg.MemoryPerTask > 0 {
-		job.MemoryPerTask = cfg.MemoryPerTask
+	if c.MemoryPerTask > 0 && job.MemoryPerTask == 0 {
+		job.MemoryPerTask = c.MemoryPerTask
 	}
-	job.RetainOutput = cfg.RetainOutput
-	job.DiscardOutput = cfg.DiscardOutput
+	if !job.RetainOutput && !job.DiscardOutput {
+		job.RetainOutput = c.RetainOutput
+		job.DiscardOutput = c.DiscardOutput
+	}
+}
 
-	if err := cfg.Faults.Validate(len(cl.Nodes())); err != nil {
+// dispatch finalizes the runtime from the config — trace sink, audit
+// ledger, fault-schedule validation — and routes the job to the selected
+// engine. Run and Cluster.RunJob both funnel through here, so every Config
+// knob is threaded identically no matter how a job is launched.
+func dispatch(cfg Config, rt *engine.Runtime, job Job) (*Result, error) {
+	rt.Tracer = cfg.Trace
+	if cfg.Audit {
+		rt.Audit = engine.NewAudit()
+	}
+	if err := cfg.Faults.Validate(len(rt.Cluster.Nodes())); err != nil {
 		return nil, fmt.Errorf("onepass: %w", err)
 	}
+	var res *Result
+	var err error
 	switch cfg.Engine {
 	case Hadoop:
-		return hadoop.Run(rt, job, hadoop.Options{FanIn: cfg.FanIn, Faults: cfg.Faults})
+		res, err = hadoop.Run(rt, job, hadoop.Options{FanIn: cfg.FanIn, Faults: cfg.Faults})
 	case MapReduceOnline:
-		return hop.Run(rt, job, hop.Options{
+		res, err = hop.Run(rt, job, hop.Options{
 			FanIn:            cfg.FanIn,
 			ChunkBytes:       cfg.ChunkBytes,
 			DisableSnapshots: cfg.DisableSnapshots,
@@ -281,7 +318,7 @@ func Run(cfg Config, data Dataset, job Job) (*Result, error) {
 		} else if cfg.Engine == HashHotKey {
 			mode = core.HotKey
 		}
-		return core.Run(rt, job, core.Options{
+		res, err = core.Run(rt, job, core.Options{
 			Mode:             mode,
 			DisablePush:      cfg.DisablePush,
 			ChunkBytes:       cfg.ChunkBytes,
@@ -293,6 +330,12 @@ func Run(cfg Config, data Dataset, job Job) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("onepass: unknown engine %v", cfg.Engine)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// An audit failure surfaces as an error but keeps the Result attached so
+	// callers can inspect what the run produced anyway.
+	return res, res.AuditError()
 }
 
 // RunWorkload runs one of the built-in workloads over inputSize bytes of

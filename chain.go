@@ -4,12 +4,9 @@ import (
 	"fmt"
 
 	"onepass/internal/cluster"
-	"onepass/internal/core"
 	"onepass/internal/dfs"
 	"onepass/internal/engine"
 	"onepass/internal/gen"
-	"onepass/internal/hadoop"
-	"onepass/internal/hop"
 	"onepass/internal/sim"
 	"onepass/internal/workloads"
 )
@@ -63,10 +60,9 @@ type Cluster struct {
 }
 
 // NewCluster builds a testbed from cfg. The Engine and per-job knobs in cfg
-// apply to every job run on it (they can be changed between runs by
-// mutating nothing — pass a different cfg to RunJob's receiver via a new
-// cluster — the engine choice is read at each RunJob call from cfg given
-// at construction).
+// are captured at construction and apply to every job run on the cluster;
+// to run with different settings, build a new Cluster rather than mutating
+// cfg afterwards.
 func NewCluster(cfg Config) *Cluster {
 	env := sim.New()
 	cl := cluster.New(env, cfg.clusterConfig())
@@ -94,51 +90,16 @@ func (c *Cluster) RunJob(job Job) (*Result, error) {
 	if job.OutputPath == "" {
 		job.OutputPath = fmt.Sprintf("out/%s-%d", job.Name, c.jobs)
 	}
-	if job.Reducers <= 0 {
-		if c.cfg.Reducers > 0 {
-			job.Reducers = c.cfg.Reducers
-		} else {
-			job.Reducers = 2 * len(c.cl.ComputeNodes())
-		}
-	}
-	if c.cfg.MemoryPerTask > 0 && job.MemoryPerTask == 0 {
-		job.MemoryPerTask = c.cfg.MemoryPerTask
-	}
-	if !job.RetainOutput && !job.DiscardOutput {
-		job.RetainOutput = c.cfg.RetainOutput
-		job.DiscardOutput = c.cfg.DiscardOutput
-	}
+	c.cfg.applyJobDefaults(&job, len(c.cl.ComputeNodes()))
 
 	// Each job gets its own runtime (fresh metrics and timeline) over the
-	// shared cluster, DFS, and virtual clock.
+	// shared cluster, DFS, and virtual clock; dispatch threads the tracer,
+	// audit, and (validated) fault schedule exactly as Run does, so chained
+	// stages are traced, audited, and faulted like single-stage runs. The
+	// fault schedule's offsets are job-relative: it re-arms at each stage's
+	// start.
 	rt := engine.NewRuntime(c.env, c.cl, c.dfs)
-	switch c.cfg.Engine {
-	case Hadoop:
-		return hadoop.Run(rt, job, hadoop.Options{FanIn: c.cfg.FanIn})
-	case MapReduceOnline:
-		return hop.Run(rt, job, hop.Options{
-			FanIn:            c.cfg.FanIn,
-			ChunkBytes:       c.cfg.ChunkBytes,
-			DisableSnapshots: c.cfg.DisableSnapshots,
-		})
-	case HashHybrid, HashIncremental, HashHotKey:
-		mode := core.HybridHash
-		if c.cfg.Engine == HashIncremental {
-			mode = core.Incremental
-		} else if c.cfg.Engine == HashHotKey {
-			mode = core.HotKey
-		}
-		return core.Run(rt, job, core.Options{
-			Mode:             mode,
-			DisablePush:      c.cfg.DisablePush,
-			ChunkBytes:       c.cfg.ChunkBytes,
-			SpillBuckets:     c.cfg.SpillBuckets,
-			HotKeyCounters:   c.cfg.HotKeyCounters,
-			ApproximateEarly: c.cfg.ApproximateEarly,
-		})
-	default:
-		return nil, fmt.Errorf("onepass: unknown engine %v", c.cfg.Engine)
-	}
+	return dispatch(c.cfg, rt, job)
 }
 
 // Now returns the cluster's current virtual time in seconds (advances

@@ -279,6 +279,9 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 					continue
 				}
 				data := reg.FetchPart(pp, node.ID, out, r)
+				if rt.Auditing() {
+					rt.Audit.ShuffleIngested(node.ID, out.TaskID, r, -1, int64(len(data)))
+				}
 				if len(data) > 0 {
 					impl.ingest(pp, data)
 				}
@@ -295,6 +298,9 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 		chunk, ok := pc.Pop(p)
 		if !ok {
 			break
+		}
+		if rt.Auditing() {
+			rt.Audit.ShuffleIngested(node.ID, chunk.MapTask, r, chunk.Seq, int64(len(chunk.Data)))
 		}
 		impl.ingest(p, chunk.Data)
 	}

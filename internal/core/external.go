@@ -73,6 +73,9 @@ func (ss *spillSet) flushBucket(p *sim.Proc, b int) {
 	ss.bufs[b] = nil
 	ss.Bytes += n
 	ss.rc.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(n))
+	if ss.rc.rt.Auditing() {
+		ss.rc.rt.Audit.SpillWritten(ss.rc.node.ID, n)
+	}
 	if ss.rc.rt.Tracing() {
 		ss.rc.rt.Emit(trace.Spill, "hash-bucket", ss.rc.node.ID, ss.rc.r, 0,
 			trace.Num("bytes", float64(n)), trace.Num("bucket", float64(b)),
@@ -152,6 +155,10 @@ func (ss *spillSet) processBucket(p *sim.Proc, b int, extra []entry, final func(
 		process(e.key, e.payload, e.f)
 	}
 	if f := ss.files[b]; f != nil && f.Size() > 0 {
+		if ss.rc.rt.Auditing() {
+			// The stream below drains the bucket file exactly once.
+			ss.rc.rt.Audit.SpillRead(ss.rc.node.ID, f.Size())
+		}
 		stream := sortmerge.NewStream(p, &sortmerge.Run{Store: ss.rc.node.ScratchStore(), File: f})
 		n := 0
 		var bytes int64

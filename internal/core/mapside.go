@@ -57,6 +57,13 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 	defer reg.Complete(out)
 
 	if opts.DisablePush {
+		if rt.Auditing() {
+			// Pull-only mode: whole partitions move through FetchPart, so
+			// record each as one produced unit like the sort-merge engine.
+			for r, n := range out.PartLen {
+				rt.Audit.ShuffleProduced(node.ID, b.Index, r, -1, n)
+			}
+		}
 		return
 	}
 	// Eager push with a non-blocking fallback: the moment a reducer's queue
@@ -87,6 +94,12 @@ func runMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 		lf := store.Create(fmt.Sprintf("%s/hashmap-%05d/leftover-%05d", job.Name, b.Index, r), false)
 		store.Append(p, lf, leftover)
 		rt.Counters.Add(engine.CtrMapSpillBytes, float64(len(leftover)))
+		if rt.Auditing() {
+			// The staged tail reaches its reducer through a pull fetch, so it
+			// belongs in the shuffle ledger (as the partition's seq -1 unit),
+			// not the spill ledger — the read-back happens remotely.
+			rt.Audit.ShuffleProduced(node.ID, b.Index, r, -1, int64(len(leftover)))
+		}
 		if rt.Tracing() {
 			rt.Emit(trace.Spill, "leftover", node.ID, b.Index, 0,
 				trace.Num("bytes", float64(len(leftover))), trace.Num("reducer", float64(r)))
@@ -114,6 +127,8 @@ func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *en
 	R := job.Reducers
 	chunks := make([][][]byte, R) // per partition: encoded chunks <= ChunkBytes
 	cur := make([][]byte, R)
+	auditing := rt.Auditing()
+	var finalPairBytes int64
 	// The plain partitioning scan copies the whole record stream through, so
 	// nearly every chunk fills to ChunkBytes and exact sizing avoids the
 	// doubling reallocations; combined output is usually far below one chunk
@@ -123,6 +138,9 @@ func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *en
 		chunkPrealloc = opts.ChunkBytes + 1<<10
 	}
 	addPair := func(r int, key, val []byte) {
+		if auditing {
+			finalPairBytes += int64(len(key) + len(val))
+		}
 		if cur[r] == nil && chunkPrealloc > 0 {
 			cur[r] = make([]byte, 0, chunkPrealloc)
 		}
@@ -186,6 +204,12 @@ func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *en
 		if len(cur[r]) > 0 {
 			chunks[r] = append(chunks[r], cur[r])
 			cur[r] = nil
+		}
+	}
+	if auditing {
+		rt.Audit.MapFinalPairs(b.Index, finalPairBytes)
+		if mapCombined {
+			rt.Audit.CombineSaved(b.Index, buf.Bytes()-finalPairBytes)
 		}
 	}
 	return chunks

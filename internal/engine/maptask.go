@@ -56,6 +56,9 @@ func (rt *Runtime) ExecuteMap(p *sim.Proc, node *cluster.Node, job *Job, b *dfs.
 	rt.Counters.Add(CtrMapInputRecords, float64(records))
 	rt.Counters.Add(CtrMapOutputRecords, float64(buf.Len()))
 	rt.Counters.Add(CtrMapOutputBytes, float64(outBytes))
+	if rt.Auditing() {
+		rt.Audit.MapRawPairs(b.Index, outBytes)
+	}
 	return buf, nil
 }
 

@@ -26,6 +26,11 @@ type Runtime struct {
 	Tracer      trace.Sink
 	EngineLabel string
 
+	// Audit, when non-nil, arms the end-of-run invariant checks; nil (the
+	// default) keeps the ledger free of cost — emission sites guard with
+	// Auditing(), mirroring the Tracer nil path.
+	Audit *Audit
+
 	sampler *metrics.Sampler
 	// start and cpuBase make results job-relative when several jobs chain
 	// on one shared cluster/virtual clock.
@@ -60,6 +65,10 @@ type NodeSeries struct {
 // Tracing reports whether a trace sink is attached; emission sites use it to
 // skip argument construction entirely on the nil-sink fast path.
 func (rt *Runtime) Tracing() bool { return rt.Tracer != nil }
+
+// Auditing reports whether the invariant ledger is armed; emission sites use
+// it to skip all bookkeeping on the nil fast path.
+func (rt *Runtime) Auditing() bool { return rt.Audit != nil }
 
 // Emit records one trace event at the current virtual instant, stamped with
 // the runtime's engine label. No-op without a sink, but callers on hot paths
@@ -234,6 +243,22 @@ type Result struct {
 	NetBytes     *metrics.Series
 	PerNode      []*NodeSeries
 	Timeline     *metrics.Timeline
+
+	// AuditFailures holds the invariants an armed audit found violated
+	// (empty or nil after a clean audited run; always nil when the run was
+	// not audited). Excluded from cache serialization when empty so audited
+	// and unaudited runs persist identically.
+	AuditFailures []AuditFailure `json:"AuditFailures,omitempty"`
+}
+
+// AuditError returns a non-nil error summarizing the violated invariants,
+// or nil when the run passed (or was not audited).
+func (r *Result) AuditError() error {
+	if len(r.AuditFailures) == 0 {
+		return nil
+	}
+	return fmt.Errorf("engine: %d audit failure(s):\n%s",
+		len(r.AuditFailures), FormatAuditFailures(r.AuditFailures))
 }
 
 // ProgressPoint is one sample of the one-pass "early answers" story: how far
@@ -302,6 +327,12 @@ const CtrTimelineForceClosed = "timeline.spans.forceclosed"
 // FinishResult snapshots runtime state into a Result after Env.Run has
 // drained.
 func (rt *Runtime) FinishResult(res *Result) {
+	if rt.Audit != nil {
+		// Check span closure before CloseOpenAt clamps the leaks away.
+		if err := rt.Timeline.CheckClosed(); err != nil {
+			rt.Audit.fail("trace-span-leak", "timeline", err.Error())
+		}
+	}
 	if n := rt.Timeline.CloseOpenAt(rt.Env.Now()); n > 0 {
 		rt.Counters.Add(CtrTimelineForceClosed, float64(n))
 	}
@@ -316,6 +347,9 @@ func (rt *Runtime) FinishResult(res *Result) {
 	res.NetBytes = rt.NetBytes
 	res.PerNode = rt.PerNode
 	res.Timeline = rt.Timeline
+	if rt.Audit != nil {
+		res.AuditFailures = rt.Audit.Finish(rt)
+	}
 }
 
 // RenderTimeline draws the run's task timeline as per-phase sparklines at

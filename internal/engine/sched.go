@@ -105,6 +105,9 @@ func (rt *Runtime) RunMaps(job *Job, blocks []*dfs.Block, task func(p *sim.Proc,
 			rt.Env.Go(fmt.Sprintf("map-slot-n%d-%d", node.ID, s), func(p *sim.Proc) {
 				run := func(fl *flight) {
 					attempt := fl.attempts - 1
+					if rt.Auditing() {
+						rt.Audit.TaskLaunched("map")
+					}
 					span := rt.Timeline.Begin(SpanMap, p.Now())
 					rt.Emit(trace.TaskStart, SpanMap, node.ID, fl.b.Index, attempt)
 					task(p, node, fl.b)
@@ -113,6 +116,9 @@ func (rt *Runtime) RunMaps(job *Job, blocks []*dfs.Block, task func(p *sim.Proc,
 					if !fl.done {
 						fl.done = true
 						rt.Counters.Add(CtrMapTasks, 1)
+						if rt.Auditing() {
+							rt.Audit.TaskCompleted("map")
+						}
 						wg.Done()
 						if job.Progress != nil {
 							job.Progress("map", len(blocks)-wg.Pending(), len(blocks))
@@ -169,11 +175,17 @@ func (rt *Runtime) RunReduces(job *Job, task func(p *sim.Proc, node *cluster.Nod
 		rt.Env.Go(fmt.Sprintf("reduce-%d-n%d", r, node.ID), func(p *sim.Proc) {
 			slot := slots[node.ID]
 			slot.Acquire(p, 1)
+			if rt.Auditing() {
+				rt.Audit.TaskLaunched("reduce")
+			}
 			rt.Emit(trace.TaskStart, SpanReduce, node.ID, r, 0)
 			task(p, node, r)
 			rt.Emit(trace.TaskFinish, SpanReduce, node.ID, r, 0)
 			slot.Release(1)
 			rt.Counters.Add(CtrReduceTasks, 1)
+			if rt.Auditing() {
+				rt.Audit.TaskCompleted("reduce")
+			}
 			wg.Done()
 			if job.Progress != nil {
 				job.Progress("reduce", job.Reducers-wg.Pending(), job.Reducers)

@@ -170,6 +170,9 @@ func (g *Registry) Complete(out *MapOutput) bool {
 	if g.byTask[out.TaskID] {
 		out.ReleaseFile()
 		g.rt.Counters.Add(CtrMapTasksSpeculativeWasted, 1)
+		if g.rt.Auditing() {
+			g.rt.Audit.TaskWasted("map")
+		}
 		return false
 	}
 	g.byTask[out.TaskID] = true
@@ -373,6 +376,12 @@ func (pc *PushChannel) TryPush(p *sim.Proc, fromNode, toNode, mapTask, seq int, 
 		return false
 	}
 	pc.rt.Counters.Add(CtrShuffleBytes, float64(len(data)))
+	if pc.rt.Auditing() {
+		// The one point where a pushed chunk has actually crossed the wire:
+		// refused, dropped-as-duplicate, and died-mid-transfer attempts never
+		// reach here, so the produced ledger records real transfers only.
+		pc.rt.Audit.ShuffleProduced(fromNode, mapTask, pc.reducer, seq, int64(len(data)))
+	}
 	if pc.rt.Tracing() {
 		pc.rt.Emit(trace.ShuffleTransfer, "shuffle-transfer", fromNode, mapTask, 0,
 			trace.Str("mode", "push"), trace.Num("reducer", float64(pc.reducer)),

@@ -83,6 +83,11 @@ type Session struct {
 	// a hash of the full spec. Tracing is observational: results are
 	// byte-identical with or without it.
 	TraceDir string
+	// Audit arms the runtime invariant audits on every executed run. A
+	// violated invariant panics the run (experiment results built on a run
+	// that broke conservation would be silently wrong). Like tracing, the
+	// audits are observational: results are byte-identical either way.
+	Audit bool
 
 	mu      sync.Mutex
 	results map[runSpec]*runEntry
@@ -207,6 +212,9 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 		tl = trace.NewLog()
 		rt.Tracer = tl
 	}
+	if s.Audit {
+		rt.Audit = engine.NewAudit()
+	}
 
 	job := w.Job
 	job.InputPath = "input/" + w.Name
@@ -261,6 +269,9 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 	}
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s/%s: %v", spec.Engine, spec.Workload, err))
+	}
+	if aerr := res.AuditError(); aerr != nil {
+		panic(fmt.Sprintf("experiments: %s/%s: %v", spec.Engine, spec.Workload, aerr))
 	}
 	if tl != nil {
 		if terr := s.writeTrace(spec, tl); terr != nil {

@@ -139,11 +139,24 @@ func executeMapAttempt(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job 
 	rt.Counters.Add(engine.CtrSortComparisons, float64(cmps))
 
 	if job.Combine != nil {
+		rawBytes := buf.Bytes()
 		combined, inputs := engine.CombineSorted(job, buf)
 		node.Compute(p, engine.Dur(float64(inputs), costs.CombineNsPerRecord), engine.PhaseCombine)
 		buf = combined
+		if rt.Auditing() {
+			rt.Audit.CombineSaved(b.Index, rawBytes-buf.Bytes())
+		}
 	}
-	return rt.WriteMapOutput(p, node, job, b.Index, buf)
+	out := rt.WriteMapOutput(p, node, job, b.Index, buf)
+	if rt.Auditing() {
+		rt.Audit.MapFinalPairs(b.Index, buf.Bytes())
+		// Pull shuffle moves whole partitions: record each as one unit so
+		// FetchPart deliveries must balance against it.
+		for r, n := range out.PartLen {
+			rt.Audit.ShuffleProduced(node.ID, b.Index, r, -1, n)
+		}
+	}
+	return out
 }
 
 func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
@@ -161,6 +174,9 @@ func runReduceTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *eng
 		for ; seen < reg.Completed(); seen++ {
 			out := reg.Out(seen)
 			data := reg.FetchPart(p, node.ID, out, r)
+			if rt.Auditing() {
+				rt.Audit.ShuffleIngested(node.ID, out.TaskID, r, -1, int64(len(data)))
+			}
 			if len(data) > 0 {
 				// Spills alias the fetched bytes; copy before the source
 				// file is released.

@@ -93,6 +93,9 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 	run := sortmerge.WriteRun(p, rs.node.ScratchStore(),
 		fmt.Sprintf("%s/red-%04d/spill-%04d", rs.job.Name, rs.r, rs.spillSeq), out)
 	rs.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(run.Size()))
+	if rs.rt.Auditing() {
+		rs.rt.Audit.SpillWritten(rs.node.ID, run.Size())
+	}
 	rs.Merger.AddRun(run)
 	span.End(p.Now())
 	if rs.rt.Tracing() {
@@ -105,9 +108,14 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 func (rs *ReduceSide) MergePass(p *sim.Proc) {
 	span := rs.rt.Timeline.Begin(engine.SpanMerge, p.Now())
 	cmpBefore, outBefore := rs.Merger.Comparisons, rs.Merger.BytesOut
+	inBefore := rs.Merger.BytesIn
 	rs.Merger.MergePass(p)
 	dCmp := rs.Merger.Comparisons - cmpBefore
 	dBytes := rs.Merger.BytesOut - outBefore
+	if rs.rt.Auditing() {
+		rs.rt.Audit.SpillRead(rs.node.ID, rs.Merger.BytesIn-inBefore)
+		rs.rt.Audit.SpillWritten(rs.node.ID, dBytes)
+	}
 	rs.node.Compute(p, engine.Dur(float64(dCmp), rs.costs.CompareNs)+
 		engine.Dur(float64(2*dBytes), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
 	rs.rt.Counters.Add(engine.CtrMergeComparisons, float64(dCmp))
@@ -128,6 +136,11 @@ func (rs *ReduceSide) Finish(p *sim.Proc, oc *engine.OutputCollector) {
 	}
 	span := rs.rt.Timeline.Begin(engine.SpanReduce, p.Now())
 	rs.rt.Emit(trace.PhaseStart, engine.SpanReduce, rs.node.ID, rs.r, 0)
+	if rs.rt.Auditing() {
+		// The final merge streams every remaining run back off disk exactly
+		// once; record it now, before the streams lazily drain.
+		rs.rt.Audit.SpillRead(rs.node.ID, rs.Merger.TotalRunBytes())
+	}
 	streams := rs.Merger.FinalStreams(p)
 	streams = append(streams, rs.Acc.Streams()...)
 	cmps, inputs := MergeGroupReduce(streams, rs.job, func(k, v []byte) {

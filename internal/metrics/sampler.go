@@ -13,6 +13,7 @@ type Sampler struct {
 	env      *sim.Env
 	interval sim.Duration
 	probes   []probeEntry
+	stop     *sim.Trigger
 	stopped  bool
 	started  bool
 }
@@ -30,7 +31,7 @@ func NewSampler(env *sim.Env, interval sim.Duration) *Sampler {
 	if interval <= 0 {
 		panic("metrics: sampler interval must be positive")
 	}
-	return &Sampler{env: env, interval: interval}
+	return &Sampler{env: env, interval: interval, stop: env.NewTrigger("sampler-stop")}
 }
 
 // TrackDelta records scale x (probe delta per interval) into a new series.
@@ -55,9 +56,12 @@ func (s *Sampler) TrackGauge(name, unit string, probe Probe) *Series {
 	return series
 }
 
-// Start spawns the sampling process. The sampler runs until Stop is called;
-// it takes one final sample on its first tick after Stop so the last partial
-// interval is captured.
+// Start spawns the sampling process. The sampler runs until Stop is called,
+// taking one final sample at the stop instant so the last partial interval
+// is captured. The inter-tick wait is interruptible: a pending tick must not
+// outlive the job, or it would stretch the measured makespan of any run
+// shorter than the next tick boundary (the same hazard fault injectors
+// avoid by waiting on the job-completion trigger).
 func (s *Sampler) Start() {
 	if s.started {
 		panic("metrics: sampler started twice")
@@ -68,17 +72,20 @@ func (s *Sampler) Start() {
 	}
 	s.env.Go("metrics-sampler", func(p *sim.Proc) {
 		for {
-			p.Sleep(s.interval)
+			fired := s.stop.WaitTimeout(p, s.interval)
 			s.sample(p.Now())
-			if s.stopped {
+			if fired || s.stopped {
 				return
 			}
 		}
 	})
 }
 
-// Stop tells the sampler to exit at its next tick.
-func (s *Sampler) Stop() { s.stopped = true }
+// Stop wakes the sampler for its final partial sample and exits it.
+func (s *Sampler) Stop() {
+	s.stopped = true
+	s.stop.Broadcast()
+}
 
 func (s *Sampler) sample(now sim.Time) {
 	// Record into the bucket that just ended: now falls exactly on a bucket

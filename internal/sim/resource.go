@@ -37,13 +37,20 @@ type resWaiter struct {
 	n int
 }
 
-// NewResource returns a resource with the given capacity.
+// NewResource returns a resource with the given capacity and registers it
+// with the environment so end-of-run leak audits can sweep every resource
+// ever created.
 func (e *Env) NewResource(name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: resource %q capacity must be positive, got %d", name, capacity))
 	}
-	return &Resource{env: e, name: name, cap: capacity}
+	r := &Resource{env: e, name: name, cap: capacity}
+	e.resources = append(e.resources, r)
+	return r
 }
+
+// Name returns the diagnostic name the resource was created with.
+func (r *Resource) Name() string { return r.name }
 
 // Cap returns the resource capacity in units.
 func (r *Resource) Cap() int { return r.cap }

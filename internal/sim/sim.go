@@ -130,6 +130,9 @@ type Env struct {
 	// on the caller's goroutine, where tests can recover it.
 	failure interface{}
 	failed  bool
+	// resources lists every Resource ever created on this environment, in
+	// creation order, so leak audits can verify all units were released.
+	resources []*Resource
 }
 
 // New returns a fresh simulation environment at time zero.
@@ -142,6 +145,16 @@ func New() *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// Resources returns every resource created on this environment in creation
+// order. Leak audits use it to assert that nothing is held or queued once a
+// run completes.
+func (e *Env) Resources() []*Resource { return e.resources }
+
+// LiveCount returns the number of processes that have started but not yet
+// exited. After Run returns normally it is zero by construction (Run panics
+// on deadlock instead), so a nonzero value outside Run means leaked procs.
+func (e *Env) LiveCount() int { return len(e.live) }
 
 func (e *Env) nextSeq() uint64 {
 	e.seq++
