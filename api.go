@@ -191,6 +191,14 @@ type Config struct {
 	// grouped output with and without faults.
 	Faults FaultSchedule
 
+	// Parallelism bounds how many tasks' pure data work (map parse/sort/
+	// hash folds, merge passes, combine flushes, reduce scans) may execute
+	// on real goroutines concurrently with the event loop. 0 or 1 keeps
+	// every closure inline on the simulation thread. Any value yields
+	// byte-identical results, traces, and counters — the pool only moves
+	// real work off the virtual-time path, never reorders virtual effects.
+	Parallelism int
+
 	// Audit arms the runtime invariant audits: end-of-run conservation
 	// checks (map output vs shuffle delivery net of combine savings, spill
 	// bytes written vs read back, task launch/completion accounting),
@@ -245,6 +253,7 @@ type Dataset struct {
 // Run executes job over data on a fresh simulated cluster per cfg.
 func Run(cfg Config, data Dataset, job Job) (*Result, error) {
 	env := sim.New()
+	env.SetWorkers(cfg.Parallelism)
 	cl := cluster.New(env, cfg.clusterConfig())
 	blockSize := cfg.BlockSize
 	if blockSize <= 0 {

@@ -65,6 +65,7 @@ type Cluster struct {
 // cfg afterwards.
 func NewCluster(cfg Config) *Cluster {
 	env := sim.New()
+	env.SetWorkers(cfg.Parallelism)
 	cl := cluster.New(env, cfg.clusterConfig())
 	blockSize := cfg.BlockSize
 	if blockSize <= 0 {

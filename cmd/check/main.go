@@ -26,6 +26,8 @@ func main() {
 	seeds := flag.Int("seeds", 25, "number of fuzzed tuples to check")
 	seed := flag.Int64("seed", 1, "base seed (tuple i uses seed+i)")
 	out := flag.String("out", "", "write a Markdown report to this file")
+	parallel := flag.Int("parallel-intra", 0,
+		"worker goroutines for intra-run data work (0 or 1 = serial; reports are byte-identical either way)")
 	quiet := flag.Bool("q", false, "suppress per-tuple progress")
 	flag.Parse()
 
@@ -33,7 +35,7 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
-	rep := check.Run(check.Options{Seeds: *seeds, Seed: *seed, Log: progress})
+	rep := check.Run(check.Options{Seeds: *seeds, Seed: *seed, Parallelism: *parallel, Log: progress})
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(rep.Markdown(*seed)), 0o644); err != nil {

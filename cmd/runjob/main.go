@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"onepass"
 	"onepass/internal/textfmt"
@@ -39,6 +40,8 @@ func main() {
 	faultSpec := flag.String("fault", "",
 		"fault schedule: comma-separated kind@T[+W]:nN[xF], kinds fail|disk-slow|net-slow|straggler (e.g. 'fail@30s:n3,disk-slow@10s+20s:n1x8')")
 	faultSeed := flag.Int64("fault-seed", 0, "derive a chaos fault schedule from this seed (ignored when -fault is set)")
+	parallel := flag.Int("parallel-intra", 0,
+		"worker goroutines for intra-run data work (0 or 1 = serial; results are byte-identical either way)")
 	flag.Parse()
 
 	cfg := onepass.DefaultConfig()
@@ -47,6 +50,7 @@ func main() {
 	cfg.SSDIntermediate = *ssd
 	cfg.SplitStorageCompute = *split
 	cfg.DiscardOutput = true
+	cfg.Parallelism = *parallel
 
 	var err error
 	if cfg.BlockSize, err = textfmt.ParseSize(*blockSize); err != nil {
@@ -126,6 +130,13 @@ func main() {
 	res, err := onepass.Run(cfg, data, job)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *parallel != 0 {
+		// Real-time pool observability (stderr, so -json output and golden
+		// traces stay byte-identical): aggregate closure time from a serial
+		// run is the Amdahl numerator for multi-core overlap.
+		fmt.Fprintf(os.Stderr, "intra-run pool: %d closures, %s aggregate closure time, peak %d in flight\n",
+			res.Pool.Dispatched, res.Pool.Busy.Round(time.Millisecond), res.Pool.MaxInFlight)
 	}
 
 	if *tracePath != "" {

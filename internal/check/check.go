@@ -23,6 +23,11 @@ type Options struct {
 	Seeds int
 	// Seed is the base seed; tuple i uses Seed+i (default 1).
 	Seed int64
+	// Parallelism is the intra-run worker pool width applied to every run
+	// (Config.Parallelism). 0 or 1 keeps runs serial; reports are
+	// byte-identical at any width — CI runs the same slice serial and
+	// parallel and diffs the reports.
+	Parallelism int
 	// Log, when non-nil, receives one progress line per tuple.
 	Log io.Writer
 }
@@ -60,7 +65,7 @@ func Run(opts Options) *Report {
 	rep := &Report{}
 	for i := 0; i < opts.Seeds; i++ {
 		seed := opts.Seed + int64(i)
-		runs, fails := CheckSeed(seed)
+		runs, fails := CheckSeed(seed, opts.Parallelism)
 		rep.Tuples++
 		rep.Runs += runs
 		rep.Failures = append(rep.Failures, fails...)
@@ -81,8 +86,10 @@ func Run(opts Options) *Report {
 // input is regenerable); on odd seeds a chained two-stage pipeline, clean
 // and under a degradation-only schedule (stage-1 output is written data a
 // node failure could strand, so chained runs degrade rather than kill).
-func CheckSeed(seed int64) (runs int, fails []Failure) {
+// parallelism sets each run's intra-run worker pool width (0 = serial).
+func CheckSeed(seed int64, parallelism int) (runs int, fails []Failure) {
 	t := FuzzTuple(seed)
+	t.Cfg.Parallelism = parallelism
 	add := func(eng, stage, format string, args ...any) {
 		fails = append(fails, Failure{
 			Seed: seed, Engine: eng, Stage: stage,

@@ -25,15 +25,19 @@ func TestFuzzTupleDeterministic(t *testing.T) {
 }
 
 // TestCheckSeeds runs one odd (chained) and one even (chaos-faulted) seed
-// end to end: all five engines, audits armed, no failures.
+// end to end: all five engines, audits armed, no failures — serial, then
+// with the intra-run worker pool on (the pool must not perturb any run).
 func TestCheckSeeds(t *testing.T) {
-	for _, seed := range []int64{1, 2} {
-		runs, fails := CheckSeed(seed)
-		if len(fails) > 0 {
-			t.Fatalf("seed %d: %d failures, first: %s", seed, len(fails), fails[0])
-		}
-		if runs < 10 {
-			t.Fatalf("seed %d: only %d runs", seed, runs)
+	for _, parallelism := range []int{0, 4} {
+		for _, seed := range []int64{1, 2} {
+			runs, fails := CheckSeed(seed, parallelism)
+			if len(fails) > 0 {
+				t.Fatalf("seed %d (parallelism %d): %d failures, first: %s",
+					seed, parallelism, len(fails), fails[0])
+			}
+			if runs < 10 {
+				t.Fatalf("seed %d (parallelism %d): only %d runs", seed, parallelism, runs)
+			}
 		}
 	}
 }

@@ -192,6 +192,10 @@ type reduceCtx struct {
 	// hashAt returns the hash function for recursion level l (level 0 is
 	// the in-memory grouping hash).
 	hashAt func(l int) *hashlib.Func
+	// pending is the in-flight pooled fold, if any. The push and pull
+	// arrival paths share the single-threaded reducer state, so any access
+	// to that state must join first.
+	pending *sim.Work
 }
 
 func newReduceCtx(rt *engine.Runtime, job *engine.Job, costs engine.CostModel,
@@ -210,6 +214,31 @@ func newReduceCtx(rt *engine.Runtime, job *engine.Job, costs engine.CostModel,
 			return f
 		},
 	}
+}
+
+// join waits out any in-flight pooled fold. Both arrival paths (push and
+// pull) call it on ingest entry, and foldChunk calls it before returning,
+// so reducer state is never read or mutated while a fold is still on the
+// pool. The wait is real-time only — it has no virtual effect, so the
+// event schedule is identical with and without workers.
+func (rc *reduceCtx) join() {
+	if rc.pending != nil {
+		w := rc.pending
+		rc.pending = nil
+		w.Wait()
+	}
+}
+
+// foldChunk applies one chunk's pure decode+fold closure and its CPU
+// charge. The closure has no virtual effects, so it rides the worker pool
+// and overlaps its own charge; with the pool disabled StartWork runs it
+// inline and the virtual sequence — just the chargeFold — is unchanged.
+// n and bytes are the chunk's pre-scanned pair count and payload size
+// (countChunk), needed because the charge is issued before the join.
+func (rc *reduceCtx) foldChunk(p *sim.Proc, n int, bytes int64, fold func()) {
+	rc.pending = p.StartWork(fold)
+	rc.chargeFold(p, n, bytes)
+	rc.join()
 }
 
 // chargeFold accounts the CPU of folding n pairs totalling bytes through
@@ -337,5 +366,19 @@ func decodePairs(chunk []byte, f func(key, val []byte)) (n int) {
 		}
 		n++
 		f(k, v)
+	}
+}
+
+// countChunk pre-scans an encoded chunk for the pair count and payload
+// bytes that chargeFold needs, so the charge can overlap the pooled fold.
+func countChunk(chunk []byte) (n int, bytes int64) {
+	d := kv.NewDecoder(chunk)
+	for {
+		k, v, ok := d.Next()
+		if !ok {
+			return
+		}
+		n++
+		bytes += int64(len(k) + len(v))
 	}
 }

@@ -120,10 +120,6 @@ func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *en
 	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner, opts *Options,
 	agg engine.Aggregator, mapCombined bool) [][][]byte {
 
-	buf, err := rt.ExecuteMap(p, node, job, b, partition)
-	if err != nil {
-		panic(fmt.Sprintf("core: %v", err))
-	}
 	R := job.Reducers
 	chunks := make([][][]byte, R) // per partition: encoded chunks <= ChunkBytes
 	cur := make([][]byte, R)
@@ -151,59 +147,79 @@ func buildMapChunks(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *en
 		}
 	}
 
+	// Everything the chunk-building walk needs from the runtime is resolved
+	// before dispatch: the walk itself (hash folds, flush sweeps, chunk
+	// sealing) is pure data work, so it rides inside the map task's pooled
+	// closure and overlaps the parse charge. The CPU charges and the
+	// CombineFlush trace events land after the join.
+	tj := rt.TaskJob(job)
+	tAgg := agg
+	if tj != job {
+		tAgg, _ = jobAggregator(tj)
+	}
+	grouping := rt.TaskMemory(job)
+	var n int
+	var flushCounts []int
+	buf, err := rt.ExecuteMapWith(p, node, tj, b, partition, func(buf *kv.Buffer) {
+		if mapCombined {
+			// Map-side hash aggregation: real hash tables, real states.
+			tables := make([]*stateTable, R)
+			for r := range tables {
+				tables[r] = newStateTable(hashAtShared(1), tAgg, false)
+			}
+			used := func() int64 {
+				var t int64
+				for _, tb := range tables {
+					t += tb.usedBytes()
+				}
+				return t
+			}
+			flushTables := func() {
+				flushed := 0
+				for r, tb := range tables {
+					tb.iterate(func(k, s []byte) bool {
+						addPair(r, k, s)
+						flushed++
+						return true
+					})
+					tb.reset()
+				}
+				flushCounts = append(flushCounts, flushed)
+			}
+			n = buf.Len()
+			for i := 0; i < n; i++ {
+				r := buf.Partition(i)
+				tables[r].fold(buf.Key(i), buf.Val(i), formIncoming)
+				if i%1024 == 1023 && used() > grouping {
+					flushTables()
+				}
+			}
+			flushTables()
+		} else {
+			// Option (1): single partitioning scan, no grouping at all.
+			for i := 0; i < buf.Len(); i++ {
+				addPair(buf.Partition(i), buf.Key(i), buf.Val(i))
+			}
+		}
+		for r := 0; r < R; r++ {
+			if len(cur[r]) > 0 {
+				chunks[r] = append(chunks[r], cur[r])
+				cur[r] = nil
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
 	if mapCombined {
-		// Map-side hash aggregation: real hash tables, real states.
-		grouping := rt.TaskMemory(job)
-		tables := make([]*stateTable, R)
-		for r := range tables {
-			tables[r] = newStateTable(hashAtShared(1), agg, false)
-		}
-		used := func() int64 {
-			var t int64
-			for _, tb := range tables {
-				t += tb.usedBytes()
-			}
-			return t
-		}
-		flushTables := func() {
-			flushed := 0
-			for r, tb := range tables {
-				tb.iterate(func(k, s []byte) bool {
-					addPair(r, k, s)
-					flushed++
-					return true
-				})
-				tb.reset()
-			}
-			if rt.Tracing() {
-				rt.Emit(trace.CombineFlush, "map-combine", node.ID, b.Index, 0,
-					trace.Num("states", float64(flushed)))
-			}
-		}
-		n := buf.Len()
-		var inBytes int64
-		for i := 0; i < n; i++ {
-			r := buf.Partition(i)
-			tables[r].fold(buf.Key(i), buf.Val(i), formIncoming)
-			inBytes += int64(len(buf.Key(i)) + len(buf.Val(i)))
-			if i%1024 == 1023 && used() > grouping {
-				flushTables()
-			}
-		}
 		node.Compute(p, engine.Dur(float64(n), costs.HashNs), engine.PhaseHash)
 		node.Compute(p, engine.Dur(float64(n), costs.UpdateNsPerRecord), engine.PhaseCombine)
 		rt.Counters.Add(engine.CtrHashOps, float64(n))
-		flushTables()
-	} else {
-		// Option (1): single partitioning scan, no grouping at all.
-		for i := 0; i < buf.Len(); i++ {
-			addPair(buf.Partition(i), buf.Key(i), buf.Val(i))
-		}
-	}
-	for r := 0; r < R; r++ {
-		if len(cur[r]) > 0 {
-			chunks[r] = append(chunks[r], cur[r])
-			cur[r] = nil
+		if rt.Tracing() {
+			for _, flushed := range flushCounts {
+				rt.Emit(trace.CombineFlush, "map-combine", node.ID, b.Index, 0,
+					trace.Num("states", float64(flushed)))
+			}
 		}
 	}
 	if auditing {

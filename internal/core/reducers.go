@@ -62,18 +62,45 @@ func (h *hybridReducer) demoteLargest(p *sim.Proc) bool {
 	return true
 }
 
-func (h *hybridReducer) ingest(p *sim.Proc, chunk []byte) {
-	var bytes int64
-	n := decodePairs(chunk, func(key, val []byte) {
-		b := h.spill.bucketOf(key)
-		bytes += int64(len(key) + len(val))
-		if tb := h.tables[b]; tb != nil {
-			tb.fold(key, val, formIncoming)
-		} else {
-			h.spill.add(p, b, key, val, formIncoming)
+// allResident reports whether no bucket has demoted yet — the condition
+// under which ingest is pure folding with no spill I/O.
+func (h *hybridReducer) allResident() bool {
+	for _, tb := range h.tables {
+		if tb == nil {
+			return false
 		}
-	})
-	h.rc.chargeFold(p, n, bytes)
+	}
+	return true
+}
+
+func (h *hybridReducer) ingest(p *sim.Proc, chunk []byte) {
+	h.rc.join()
+	if h.allResident() {
+		// Every bucket is resident, so the decode+fold loop touches only
+		// this reducer's tables — pure data work that rides the pool. The
+		// gate depends only on demotion state, which evolves identically
+		// with and without workers.
+		n, bytes := countChunk(chunk)
+		h.rc.foldChunk(p, n, bytes, func() {
+			decodePairs(chunk, func(key, val []byte) {
+				h.tables[h.spill.bucketOf(key)].fold(key, val, formIncoming)
+			})
+		})
+	} else {
+		// A demoted bucket streams its traffic straight to disk: virtual
+		// I/O mid-loop, so this path stays inline.
+		var bytes int64
+		n := decodePairs(chunk, func(key, val []byte) {
+			b := h.spill.bucketOf(key)
+			bytes += int64(len(key) + len(val))
+			if tb := h.tables[b]; tb != nil {
+				tb.fold(key, val, formIncoming)
+			} else {
+				h.spill.add(p, b, key, val, formIncoming)
+			}
+		})
+		h.rc.chargeFold(p, n, bytes)
+	}
 	for h.used() > h.rc.budget {
 		if !h.demoteLargest(p) {
 			break
@@ -143,23 +170,42 @@ func (ir *incReducer) evictBucket(p *sim.Proc) {
 }
 
 func (ir *incReducer) ingest(p *sim.Proc, chunk []byte) {
+	ir.rc.join()
+	if ir.rc.job.EmitWhen == nil {
+		// Without threshold emission the loop is pure folding, so it rides
+		// the pool; budget-driven evictions move to one post-chunk sweep —
+		// the same point in both modes, so serial and parallel runs evict
+		// the same states at the same virtual instants.
+		n, bytes := countChunk(chunk)
+		ir.rc.foldChunk(p, n, bytes, func() {
+			decodePairs(chunk, func(key, val []byte) {
+				ir.st.fold(key, val, formIncoming)
+			})
+		})
+		ir.pairsSeen += n
+		for ir.st.usedBytes() > ir.rc.budget && ir.st.len() > 0 {
+			ir.evictBucket(p)
+		}
+		return
+	}
+	// Threshold emission reads each key's state the instant it folds and
+	// may emit output mid-loop — virtual effects that keep this path
+	// inline.
 	var bytes int64
 	early := 0
 	n := decodePairs(chunk, func(key, val []byte) {
 		ir.st.fold(key, val, formIncoming)
 		bytes += int64(len(key) + len(val))
-		if ir.rc.job.EmitWhen != nil {
-			if s, ok := ir.st.get(key); ok && ir.rc.job.EmitWhen(key, s) {
-				if ir.emitted == nil {
-					ir.emitted = make(map[string]bool)
-				}
-				if !ir.emitted[string(key)] {
-					ir.emitted[string(key)] = true
-					// Incremental processing: the answer leaves the system
-					// the moment its condition is met (§IV point 3).
-					ir.rc.emitFinal(p, key, s)
-					early++
-				}
+		if s, ok := ir.st.get(key); ok && ir.rc.job.EmitWhen(key, s) {
+			if ir.emitted == nil {
+				ir.emitted = make(map[string]bool)
+			}
+			if !ir.emitted[string(key)] {
+				ir.emitted[string(key)] = true
+				// Incremental processing: the answer leaves the system
+				// the moment its condition is met (§IV point 3).
+				ir.rc.emitFinal(p, key, s)
+				early++
 			}
 		}
 		ir.pairsSeen++
@@ -302,22 +348,25 @@ func (hr *hotReducer) sweepCold(p *sim.Proc) {
 }
 
 func (hr *hotReducer) ingest(p *sim.Proc, chunk []byte) {
-	var bytes int64
-	n := decodePairs(chunk, func(key, val []byte) {
-		hr.sk.Offer(key, 1)
-		hr.pairsSeen++
-		bytes += int64(len(key) + len(val))
-		// Always fold: resident keys absorb their entire value stream with
-		// zero I/O, which is where the win comes from. When the table
-		// outgrows its budget, the sweep sheds the *coldest* states — so
-		// hot keys stay pinned and cold keys pay one small state write
-		// instead of raw-record spills.
-		hr.st.fold(key, val, formIncoming)
-		if hr.pairsSeen%256 == 0 && hr.st.usedBytes() > hr.rc.budget {
-			hr.sweepCold(p)
-		}
+	hr.rc.join()
+	// Always fold: resident keys absorb their entire value stream with
+	// zero I/O, which is where the win comes from. When the table outgrows
+	// its budget, the sweep sheds the *coldest* states — so hot keys stay
+	// pinned and cold keys pay one small state write instead of raw-record
+	// spills. The sketch offers and folds are pure data work, so they ride
+	// the pool; the cold sweep (spill I/O) runs as one post-chunk pass at
+	// the same point in both modes.
+	n, bytes := countChunk(chunk)
+	hr.rc.foldChunk(p, n, bytes, func() {
+		decodePairs(chunk, func(key, val []byte) {
+			hr.sk.Offer(key, 1)
+			hr.st.fold(key, val, formIncoming)
+		})
 	})
-	hr.rc.chargeFold(p, n, bytes)
+	hr.pairsSeen += n
+	if hr.st.usedBytes() > hr.rc.budget {
+		hr.sweepCold(p)
+	}
 }
 
 func (hr *hotReducer) finalize(p *sim.Proc) {

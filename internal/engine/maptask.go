@@ -6,6 +6,7 @@ import (
 	"onepass/internal/cluster"
 	"onepass/internal/dfs"
 	"onepass/internal/kv"
+	"onepass/internal/metrics"
 	"onepass/internal/sim"
 	"onepass/internal/trace"
 )
@@ -19,6 +20,18 @@ type Partitioner func(key []byte, n int) int
 // (hash CPU). Sorting/combining/writing are engine-specific and happen on
 // the returned buffer.
 func (rt *Runtime) ExecuteMap(p *sim.Proc, node *cluster.Node, job *Job, b *dfs.Block, part Partitioner) (*kv.Buffer, error) {
+	return rt.ExecuteMapWith(p, node, job, b, part, nil)
+}
+
+// ExecuteMapWith is ExecuteMap with an engine-supplied post step: pure data
+// work over the finished buffer (sort, combine, chunk encoding) that runs
+// inside the same dispatched closure as the map loop, so with the worker
+// pool enabled it overlaps other tasks' virtual I/O and compute. post must
+// follow the StartWork ownership rules — no Runtime, Proc, or shared-
+// scratch access — and job should be the per-task clone from TaskJob when
+// the pool is on. The CPU charges for whatever post did are the caller's
+// responsibility, after this returns.
+func (rt *Runtime) ExecuteMapWith(p *sim.Proc, node *cluster.Node, job *Job, b *dfs.Block, part Partitioner, post func(*kv.Buffer)) (*kv.Buffer, error) {
 	costs := job.Costs.merged()
 	data, err := rt.DFS.ReadBlock(p, b, node.ID)
 	if err != nil {
@@ -26,36 +39,52 @@ func (rt *Runtime) ExecuteMap(p *sim.Proc, node *cluster.Node, job *Job, b *dfs.
 	}
 	rt.Counters.Add(CtrMapInputBytes, float64(len(data)))
 
+	// The record loop is pure data work: it reads only the fetched block and
+	// writes only the task-owned buffer, two locals, and a task-owned
+	// counter delta. Dispatch it (plus the engine's post step) to the pool,
+	// overlapping the parse charge below, which depends only on len(data).
+	// Serially the closure runs inline here — either way it executes zero
+	// virtual operations, so the event schedule is identical in both modes.
+	buf := kv.NewBuffer(len(data))
+	records := 0
+	var outBytes int64
+	var delta metrics.Delta
+	work := rt.StartJobWork(p, job, func() {
+		emit := func(key, val []byte) {
+			pt := part(key, job.Reducers)
+			buf.Add(pt, key, val)
+			outBytes += int64(len(key) + len(val))
+		}
+		job.Reader(data, func(rec []byte) {
+			records++
+			job.Map(rec, emit)
+		})
+		if post != nil {
+			post(buf)
+		}
+		// Counter increments stay in the closure's own delta — never the
+		// shared Counters bag, whose summation order would then depend on
+		// real-goroutine interleaving — and merge at the join below.
+		delta.Add(CtrMapInputRecords, float64(records))
+		delta.Add(CtrMapOutputRecords, float64(buf.Len()))
+		delta.Add(CtrMapOutputBytes, float64(outBytes))
+	})
+
 	// Parse: charge per input byte at the format's rate.
 	parseNs := costs.ParseNsPerByte
 	if job.BinaryInput {
 		parseNs = costs.BinaryParseNsPerByte
 	}
 	node.Compute(p, Dur(float64(len(data)), parseNs), PhaseParse)
+	work.Wait()
+	delta.ApplyTo(rt.Counters)
 
-	// Map function over real records.
-	buf := kv.NewBuffer(len(data))
-	records := 0
-	var outBytes int64
-	emit := func(key, val []byte) {
-		pt := part(key, job.Reducers)
-		buf.Add(pt, key, val)
-		outBytes += int64(len(key) + len(val))
-	}
-	job.Reader(data, func(rec []byte) {
-		records++
-		job.Map(rec, emit)
-	})
 	node.Compute(p, Dur(float64(records), costs.MapNsPerRecord)+
 		Dur(float64(outBytes), costs.MapNsPerOutputByte), PhaseMapFn)
 	node.Compute(p, Dur(float64(records), costs.FrameworkNsPerRecord), PhaseFramework)
 	// Partition decisions (one hash per emitted pair).
 	node.Compute(p, Dur(float64(buf.Len()), costs.HashNs), PhaseHash)
 	rt.Counters.Add(CtrHashOps, float64(buf.Len()))
-
-	rt.Counters.Add(CtrMapInputRecords, float64(records))
-	rt.Counters.Add(CtrMapOutputRecords, float64(buf.Len()))
-	rt.Counters.Add(CtrMapOutputBytes, float64(outBytes))
 	if rt.Auditing() {
 		rt.Audit.MapRawPairs(b.Index, outBytes)
 	}

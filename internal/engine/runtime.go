@@ -138,6 +138,38 @@ func NewRuntimeSampled(env *sim.Env, c *cluster.Cluster, d *dfs.DFS, sample sim.
 	return rt
 }
 
+// TaskJob returns the job a single task attempt should call user functions
+// through. With the worker pool disabled (or when the job supplies no Fresh
+// factory) it is the job itself; with the pool enabled it is a copy whose
+// user functions come from an independent Fresh() construction, so scratch
+// buffers those functions keep across calls are owned by exactly one
+// concurrently-running task. Engines call it once per owner (map attempt,
+// reduce side), not per work item.
+func (rt *Runtime) TaskJob(job *Job) *Job {
+	if job.Fresh == nil || rt.Env.Workers() <= 1 {
+		return job
+	}
+	fresh := job.Fresh()
+	clone := *job
+	clone.Reader = fresh.Reader
+	clone.Map = fresh.Map
+	clone.Combine = fresh.Combine
+	clone.Reduce = fresh.Reduce
+	clone.Agg = fresh.Agg
+	return &clone
+}
+
+// StartJobWork dispatches fn — pure data work that calls job's user
+// functions — to the worker pool when the job declares those functions
+// pool-safe via Fresh, and runs it inline otherwise. Either way the caller
+// gets a Work handle to join before reading fn's results.
+func (rt *Runtime) StartJobWork(p *sim.Proc, job *Job, fn func()) *sim.Work {
+	if job.Fresh == nil {
+		return sim.Do(fn)
+	}
+	return p.StartWork(fn)
+}
+
 // InputBlocks resolves a job's input: a registered file's blocks, or — for
 // chained jobs reading a previous job's output directory — the blocks of
 // every part file under the path.
@@ -249,6 +281,12 @@ type Result struct {
 	// not audited). Excluded from cache serialization when empty so audited
 	// and unaudited runs persist identically.
 	AuditFailures []AuditFailure `json:"AuditFailures,omitempty"`
+
+	// Pool reports the intra-run worker pool's real-time activity: closures
+	// dispatched via StartWork, aggregate wall time inside them, and the
+	// peak in flight. Real-time observability only — excluded from JSON so
+	// serial and pooled runs serialize byte-identically.
+	Pool sim.WorkStats `json:"-"`
 }
 
 // AuditError returns a non-nil error summarizing the violated invariants,
@@ -347,6 +385,7 @@ func (rt *Runtime) FinishResult(res *Result) {
 	res.NetBytes = rt.NetBytes
 	res.PerNode = rt.PerNode
 	res.Timeline = rt.Timeline
+	res.Pool = rt.Env.WorkStats()
 	if rt.Audit != nil {
 		res.AuditFailures = rt.Audit.Finish(rt)
 	}

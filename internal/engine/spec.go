@@ -101,6 +101,15 @@ type Job struct {
 	// paper's related work). Requires pull shuffle: duplicate attempts
 	// commit idempotently through the map-output registry.
 	Speculation bool
+
+	// Fresh, when set, returns an independently-constructed copy of this job
+	// whose user functions (Reader, Map, Combine, Reduce, Agg) share no
+	// scratch state with any other copy. Parallel intra-run execution uses it
+	// to give every concurrently-running task its own function instances;
+	// without it, tasks whose user functions might keep scratch buffers run
+	// inline on the event loop instead of on the worker pool. Jobs whose
+	// functions are stateless may leave it nil.
+	Fresh func() Job
 }
 
 // Validate checks the spec for the common mistakes.

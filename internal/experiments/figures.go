@@ -30,10 +30,24 @@ func shapeOf(res *engine.Result) phaseShape {
 	sh := phaseShape{MapEnd: mapEnd}
 	sh.MapMeanUtil = res.CPUUtil.MeanOver(0, mapEndBucket)
 	sh.MapMeanIowait = res.Iowait.MeanOver(0, mapEndBucket)
-	// Smoothed minimum over the post-map region (3-bucket window).
+	// The valley of Fig 2 is the between-phase window where the framework
+	// re-reads spilled runs, so bound the search to the region with merge
+	// I/O: the quiet CPU tail after the last reducer's reads complete is a
+	// different (and uninteresting) kind of idle.
+	lastRead := mapEndBucket
+	for i := mapEndBucket; i < endBucket; i++ {
+		if res.BytesRead.At(i) > 0 {
+			lastRead = i
+		}
+	}
+	searchEnd := lastRead + 1
+	if searchEnd > endBucket-1 {
+		searchEnd = endBucket - 1
+	}
+	// Smoothed minimum over the merge region (3-bucket window).
 	sh.ValleyUtil = 2.0
 	valleyAt := mapEndBucket
-	for i := mapEndBucket; i < endBucket-1; i++ {
+	for i := mapEndBucket; i < searchEnd; i++ {
 		v := res.CPUUtil.MeanOver(i, i+3)
 		if v < sh.ValleyUtil {
 			sh.ValleyUtil = v

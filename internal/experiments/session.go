@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -88,6 +89,11 @@ type Session struct {
 	// that broke conservation would be silently wrong). Like tracing, the
 	// audits are observational: results are byte-identical either way.
 	Audit bool
+	// Parallelism sets the intra-run worker pool width on every executed
+	// run (sim.Env.SetWorkers). 0 or 1 keeps task data work inline; any
+	// width yields byte-identical results. NewSession seeds it from the
+	// ONEPASS_PARALLEL environment variable.
+	Parallelism int
 
 	mu      sync.Mutex
 	results map[runSpec]*runEntry
@@ -96,13 +102,24 @@ type Session struct {
 	// speedup the driver reports.
 	runWall time.Duration
 	runs    int // number of runs actually executed (cache misses)
+	// pool accumulates every executed run's intra-run worker pool stats
+	// (closures dispatched, aggregate closure time, peak in flight).
+	pool sim.WorkStats
 
 	logMu sync.Mutex
 }
 
-// NewSession returns a session at the given scale.
+// NewSession returns a session at the given scale. The ONEPASS_PARALLEL
+// environment variable (e.g. "4") seeds the intra-run worker pool width,
+// mirroring how ONEPASS_SCALE seeds the scale factor.
 func NewSession(s Scale) *Session {
-	return &Session{Scale: s, results: make(map[runSpec]*runEntry)}
+	sess := &Session{Scale: s, results: make(map[runSpec]*runEntry)}
+	if v := os.Getenv("ONEPASS_PARALLEL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			sess.Parallelism = n
+		}
+	}
+	return sess
 }
 
 func (s *Session) logf(format string, args ...interface{}) {
@@ -120,6 +137,15 @@ func (s *Session) RunStats() (runs int, wall time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.runs, s.runWall
+}
+
+// PoolStats reports the intra-run worker pool activity accumulated across
+// every executed run: the aggregate-closure-time share of RunStats' wall is
+// the Amdahl numerator for -parallel-intra overlap on a multi-core host.
+func (s *Session) PoolStats() sim.WorkStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pool
 }
 
 func (s *Session) workload(name string, binary, skewed bool) *workloads.Workload {
@@ -180,6 +206,7 @@ func (s *Session) Run(spec runSpec) *engine.Result {
 	s.mu.Lock()
 	s.runWall += time.Since(start)
 	s.runs++
+	s.pool.Add(res.Pool)
 	s.mu.Unlock()
 	return res
 }
@@ -191,6 +218,7 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 	w := s.workload(spec.Workload, spec.BinaryInput, spec.SkewedUsers)
 
 	env := sim.New()
+	env.SetWorkers(s.Parallelism)
 	ccfg := cluster.DefaultConfig()
 	ccfg.Nodes = s.Scale.Nodes
 	ccfg.SSDIntermediate = spec.SSD

@@ -17,6 +17,7 @@ import (
 	"onepass/internal/engine"
 	"onepass/internal/faults"
 	"onepass/internal/hashlib"
+	"onepass/internal/kv"
 	"onepass/internal/sim"
 	"onepass/internal/sortmerge"
 	"onepass/internal/trace"
@@ -127,21 +128,31 @@ func RunMapTask(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine
 // re-execution.
 func executeMapAttempt(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job *engine.Job,
 	costs engine.CostModel, b *dfs.Block, partition engine.Partitioner) *engine.MapOutput {
-	buf, err := rt.ExecuteMap(p, node, job, b, partition)
+	// tj is this attempt's own view of the user functions (see TaskJob):
+	// the sort and combine below run inside the pooled map closure, where
+	// scratch shared with a concurrent attempt would race.
+	tj := rt.TaskJob(job)
+	// Sort the map output buffer on (partition, key) — the CPU cost of
+	// Table II's "Sorting" row, measured from real comparisons — and apply
+	// the combiner, all inside the map-task closure; the charges land after
+	// the join, in the same order as before.
+	var cmps int64
+	var rawBytes int64
+	var combined *kv.Buffer
+	combineInputs := 0
+	buf, err := rt.ExecuteMapWith(p, node, tj, b, partition, func(buf *kv.Buffer) {
+		buf.SortByPartitionKey(&cmps)
+		rawBytes = buf.Bytes()
+		combined, combineInputs = engine.CombineSorted(tj, buf)
+	})
 	if err != nil {
 		panic(fmt.Sprintf("hadoop: %v", err))
 	}
-	// Sort the map output buffer on (partition, key) — the CPU cost of
-	// Table II's "Sorting" row, measured from real comparisons.
-	var cmps int64
-	buf.SortByPartitionKey(&cmps)
 	node.Compute(p, engine.Dur(float64(cmps), costs.CompareNs), engine.PhaseSort)
 	rt.Counters.Add(engine.CtrSortComparisons, float64(cmps))
 
 	if job.Combine != nil {
-		rawBytes := buf.Bytes()
-		combined, inputs := engine.CombineSorted(job, buf)
-		node.Compute(p, engine.Dur(float64(inputs), costs.CombineNsPerRecord), engine.PhaseCombine)
+		node.Compute(p, engine.Dur(float64(combineInputs), costs.CombineNsPerRecord), engine.PhaseCombine)
 		buf = combined
 		if rt.Auditing() {
 			rt.Audit.CombineSaved(b.Index, rawBytes-buf.Bytes())

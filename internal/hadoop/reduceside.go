@@ -29,15 +29,28 @@ type ReduceSide struct {
 	spillSeq int
 }
 
-// NewReduceSide builds the spill/merge state for reducer r on node.
+// NewReduceSide builds the spill/merge state for reducer r on node. The
+// reduce side keeps its own TaskJob view of the user functions: its spill
+// combines and reduce scans run inside pooled closures, concurrent with
+// other tasks'.
 func NewReduceSide(rt *engine.Runtime, job *engine.Job, costs engine.CostModel,
 	node *cluster.Node, r, fanIn int) *ReduceSide {
-	return &ReduceSide{
-		rt: rt, job: job, costs: costs, node: node, r: r,
+	rs := &ReduceSide{
+		rt: rt, job: rt.TaskJob(job), costs: costs, node: node, r: r,
 		Merger: sortmerge.NewMerger(node.ScratchStore(), fmt.Sprintf("%s/red-%04d", job.Name, r), fanIn),
 		Acc:    sortmerge.NewAccumulator(rt.TaskMemory(job)),
 	}
+	// A merge pass rewrites its inputs verbatim, so its serialization cost
+	// is known before the merge runs; charging it through the hook overlaps
+	// the pooled merge work (MergePass below then charges only comparisons).
+	rs.Merger.Charge = func(p *sim.Proc, inBytes int64) {
+		node.Compute(p, engine.Dur(float64(2*inBytes), costs.SerializeNsPerByte), engine.PhaseMerge)
+	}
+	return rs
 }
+
+// Job returns the reduce side's (possibly per-task) view of the job.
+func (rs *ReduceSide) Job() *engine.Job { return rs.job }
 
 // Add buffers one sorted segment; when the buffer exceeds its budget it is
 // spilled and background multi-pass merges run as needed.
@@ -64,30 +77,49 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 		return
 	}
 	span := rs.rt.Timeline.Begin(engine.SpanMerge, p.Now())
+	bufBytes := rs.Acc.Bytes()
+	segs := rs.Acc.TakeSegments()
+	var out []byte
 	var cmps int64
-	// The spill can never exceed the buffered bytes (combining only
-	// shrinks it), so size the output once instead of growing it.
-	out := make([]byte, 0, rs.Acc.Bytes())
-	emit := func(k, v []byte) {
-		out = kv.AppendPair(out, k, v)
-	}
-	if rs.job.Combine != nil {
-		var g kv.Grouper
-		combineInputs := 0
-		combine := func(key []byte, vals [][]byte) {
-			rs.job.Combine(key, vals, emit)
-			combineInputs += len(vals)
+	combineInputs := 0
+	work := rs.rt.StartJobWork(p, rs.job, func() {
+		streams := make([]kv.PairStream, len(segs))
+		for i, s := range segs {
+			streams[i] = kv.NewSliceStream(s)
 		}
-		kv.MergeStreams(rs.Acc.Streams(), &cmps, func(k, v []byte) {
-			g.Add(k, v, nil, combine)
-		})
-		g.Flush(combine)
-		rs.node.Compute(p, engine.Dur(float64(combineInputs), rs.costs.CombineNsPerRecord), engine.PhaseCombine)
-	} else {
-		kv.MergeStreams(rs.Acc.Streams(), &cmps, emit)
+		// The spill can never exceed the buffered bytes (combining only
+		// shrinks it), so size the output once instead of growing it.
+		out = make([]byte, 0, bufBytes)
+		emit := func(k, v []byte) {
+			out = kv.AppendPair(out, k, v)
+		}
+		if rs.job.Combine != nil {
+			var g kv.Grouper
+			combine := func(key []byte, vals [][]byte) {
+				rs.job.Combine(key, vals, emit)
+				combineInputs += len(vals)
+			}
+			kv.MergeStreams(streams, &cmps, func(k, v []byte) {
+				g.Add(k, v, nil, combine)
+			})
+			g.Flush(combine)
+		} else {
+			kv.MergeStreams(streams, &cmps, emit)
+		}
+	})
+	if rs.job.Combine == nil {
+		// Without a combiner the spill rewrites its input verbatim, so the
+		// serialization charge is known up front and overlaps the merge.
+		rs.node.Compute(p, engine.Dur(float64(bufBytes), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
 	}
-	rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs)+
-		engine.Dur(float64(len(out)), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
+	work.Wait()
+	if rs.job.Combine != nil {
+		rs.node.Compute(p, engine.Dur(float64(combineInputs), rs.costs.CombineNsPerRecord), engine.PhaseCombine)
+		rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs)+
+			engine.Dur(float64(len(out)), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
+	} else {
+		rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs), engine.PhaseMerge)
+	}
 	rs.rt.Counters.Add(engine.CtrMergeComparisons, float64(cmps))
 	rs.spillSeq++
 	run := sortmerge.WriteRun(p, rs.node.ScratchStore(),
@@ -116,8 +148,9 @@ func (rs *ReduceSide) MergePass(p *sim.Proc) {
 		rs.rt.Audit.SpillRead(rs.node.ID, rs.Merger.BytesIn-inBefore)
 		rs.rt.Audit.SpillWritten(rs.node.ID, dBytes)
 	}
-	rs.node.Compute(p, engine.Dur(float64(dCmp), rs.costs.CompareNs)+
-		engine.Dur(float64(2*dBytes), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
+	// Serialization was charged through Merger.Charge, overlapping the
+	// merge; only the comparison cost depends on the merge's outcome.
+	rs.node.Compute(p, engine.Dur(float64(dCmp), rs.costs.CompareNs), engine.PhaseMerge)
 	rs.rt.Counters.Add(engine.CtrMergeComparisons, float64(dCmp))
 	rs.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(dBytes))
 	rs.rt.Counters.Add(engine.CtrMergePasses, 1)
@@ -137,19 +170,52 @@ func (rs *ReduceSide) Finish(p *sim.Proc, oc *engine.OutputCollector) {
 	span := rs.rt.Timeline.Begin(engine.SpanReduce, p.Now())
 	rs.rt.Emit(trace.PhaseStart, engine.SpanReduce, rs.node.ID, rs.r, 0)
 	if rs.rt.Auditing() {
-		// The final merge streams every remaining run back off disk exactly
-		// once; record it now, before the streams lazily drain.
+		// The final merge reads every remaining run back off disk exactly
+		// once; record it before the reads below.
 		rs.rt.Audit.SpillRead(rs.node.ID, rs.Merger.TotalRunBytes())
 	}
-	streams := rs.Merger.FinalStreams(p)
-	streams = append(streams, rs.Acc.Streams()...)
-	cmps, inputs := MergeGroupReduce(streams, rs.job, func(k, v []byte) {
-		oc.Emit(p, rs.r, rs.node.ID, k, v)
+	// Read the remaining runs up front so the final merge + reduce scan is
+	// pure in-memory work a pooled closure can own; the output pairs stage
+	// into a flat buffer and replay through the collector after the join.
+	datas := rs.Merger.ReadRuns(p)
+	segs := rs.Acc.TakeSegments()
+	// The reduce and framework charges depend only on the total input pair
+	// count, which a cheap pre-scan provides — charging them between
+	// dispatch and join overlaps the real merge and reduce work.
+	inputs := 0
+	for _, d := range datas {
+		inputs += kv.CountPairs(d)
+	}
+	for _, s := range segs {
+		inputs += kv.CountPairs(s)
+	}
+	var staged []byte
+	var cmps int64
+	work := rs.rt.StartJobWork(p, rs.job, func() {
+		streams := make([]kv.PairStream, 0, len(datas)+len(segs))
+		for _, d := range datas {
+			streams = append(streams, kv.NewSliceStream(d))
+		}
+		for _, s := range segs {
+			streams = append(streams, kv.NewSliceStream(s))
+		}
+		cmps, _ = MergeGroupReduce(streams, rs.job, func(k, v []byte) {
+			staged = kv.AppendPair(staged, k, v)
+		})
 	})
-	rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs), engine.PhaseMerge)
 	rs.node.Compute(p, engine.Dur(float64(inputs), rs.costs.ReduceNsPerRecord), engine.PhaseReduce)
 	rs.node.Compute(p, engine.Dur(float64(inputs), rs.costs.FrameworkNsPerRecord), engine.PhaseFramework)
+	work.Wait()
+	rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs), engine.PhaseMerge)
 	rs.rt.Counters.Add(engine.CtrMergeComparisons, float64(cmps))
+	for off := 0; off < len(staged); {
+		k, v, n := kv.DecodePair(staged[off:])
+		if n == 0 {
+			break
+		}
+		oc.Emit(p, rs.r, rs.node.ID, k, v)
+		off += n
+	}
 	rs.Merger.DeleteAll()
 	oc.Close(p, rs.r)
 	span.End(p.Now())

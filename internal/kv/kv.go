@@ -51,6 +51,23 @@ func DecodePair(buf []byte) (key, val []byte, n int) {
 	return key, val, total
 }
 
+// CountPairs returns the number of complete encoded pairs at the front of
+// buf — a cheap pre-scan (length fields only, no payload work) that lets
+// charge sites know record counts before a pooled closure has processed
+// the data.
+func CountPairs(buf []byte) int {
+	n := 0
+	for len(buf) > 0 {
+		_, _, sz := DecodePair(buf)
+		if sz == 0 {
+			return n
+		}
+		buf = buf[sz:]
+		n++
+	}
+	return n
+}
+
 // Compare compares two byte-string keys, incrementing *counter by the
 // byte positions examined (a proxy for real comparison cost, charged to
 // virtual CPU by the engines). A nil counter is allowed.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Time is an absolute instant in virtual nanoseconds since the start of the
@@ -133,6 +134,18 @@ type Env struct {
 	// resources lists every Resource ever created on this environment, in
 	// creation order, so leak audits can verify all units were released.
 	resources []*Resource
+	// Worker pool for pure data work (see work.go). workSem is nil when the
+	// pool is disabled; pendingWork counts dispatched-but-unjoined closures
+	// across all processes so Run can assert the pool drained.
+	workSem     chan struct{}
+	workers     int
+	pendingWork int
+	// Pool observability (WorkStats): updated from worker goroutines, hence
+	// atomic; real-time only, never read back into simulation state.
+	workDispatched  atomic.Int64
+	workInFlight    atomic.Int64
+	workMaxInFlight atomic.Int64
+	workBusyNs      atomic.Int64
 }
 
 // New returns a fresh simulation environment at time zero.
@@ -208,6 +221,9 @@ type Proc struct {
 	// waits for at most one resource at a time, which lets the queue hold
 	// plain values instead of per-wait heap allocations.
 	granted bool
+	// unjoined counts StartWork dispatches this process has not yet joined
+	// with Work.Wait. Only the process's own goroutine touches it.
+	unjoined int
 }
 
 // blockedOn renders the deadlock diagnostic for the current block reason.
@@ -253,6 +269,9 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 			e.yield <- struct{}{}
 		}()
 		fn(p)
+		if p.unjoined != 0 {
+			panic(fmt.Sprintf("sim: process %s exited with %d unjoined StartWork dispatches", p.name, p.unjoined))
+		}
 	}()
 	return p
 }
@@ -277,6 +296,9 @@ func (e *Env) Run() {
 		if e.failed {
 			panic(e.failure)
 		}
+	}
+	if e.pendingWork != 0 {
+		panic(fmt.Sprintf("sim: run drained with %d unjoined StartWork dispatches", e.pendingWork))
 	}
 	if len(e.live) > 0 {
 		names := make([]string, 0, len(e.live))

@@ -109,6 +109,13 @@ type Merger struct {
 	BytesIn     int64
 	BytesOut    int64
 	Passes      int
+
+	// Charge, when set, is called by MergePass between dispatching the pure
+	// merge work and joining it, with the pass's input byte volume. Virtual
+	// time the owner charges here (serialization, say) overlaps the real
+	// merge when the worker pool is enabled; a pass rewrites its inputs
+	// verbatim, so inBytes is also the output size.
+	Charge func(p *sim.Proc, inBytes int64)
 }
 
 // NewMerger returns a merger writing merged runs under prefix on store.
@@ -146,18 +153,35 @@ func (m *Merger) MergePass(p *sim.Proc) *Run {
 	victims := m.runs[:n]
 	m.runs = append([]*Run(nil), m.runs[n:]...)
 
-	streams := make([]kv.PairStream, len(victims))
 	var inBytes int64
+	datas := make([][]byte, len(victims))
 	for i, r := range victims {
-		streams[i] = NewStream(p, r)
+		datas[i] = readRun(p, r)
 		inBytes += r.Size()
 	}
-	// A merge pass rewrites its inputs verbatim, so the output is exactly
-	// inBytes — allocate it once.
-	out := make([]byte, 0, inBytes)
-	kv.MergeStreams(streams, &m.Comparisons, func(k, v []byte) {
-		out = kv.AppendPair(out, k, v)
+	// With the inputs in memory the k-way merge is pure data work: dispatch
+	// it to the pool and let the owner's Charge hook account virtual time
+	// over it. Comparisons fold in after the join so the worker never
+	// touches shared counters.
+	var out []byte
+	var cmps int64
+	work := p.StartWork(func() {
+		streams := make([]kv.PairStream, len(datas))
+		for i, d := range datas {
+			streams[i] = kv.NewSliceStream(d)
+		}
+		// A merge pass rewrites its inputs verbatim, so the output is
+		// exactly inBytes — allocate it once.
+		out = make([]byte, 0, inBytes)
+		kv.MergeStreams(streams, &cmps, func(k, v []byte) {
+			out = kv.AppendPair(out, k, v)
+		})
 	})
+	if m.Charge != nil {
+		m.Charge(p, inBytes)
+	}
+	work.Wait()
+	m.Comparisons += cmps
 	m.seq++
 	merged := WriteRun(p, m.store, fmt.Sprintf("%s/merged-%04d", m.prefix, m.seq), out)
 	for _, r := range victims {
@@ -179,6 +203,32 @@ func (m *Merger) FinalStreams(p *sim.Proc) []kv.PairStream {
 		out[i] = NewStream(p, r)
 	}
 	return out
+}
+
+// ReadRuns streams every remaining run fully into memory (charging the
+// reads) and returns one encoded byte slice per run, oldest first. The runs
+// stay registered for DeleteAll. The final merge uses it so the merge and
+// reduce scan become pure in-memory work a pooled closure can own.
+func (m *Merger) ReadRuns(p *sim.Proc) [][]byte {
+	out := make([][]byte, len(m.runs))
+	for i, r := range m.runs {
+		out[i] = readRun(p, r)
+	}
+	return out
+}
+
+// readRun reads one run back in full, charging the same buffered reads the
+// lazy Stream would.
+func readRun(p *sim.Proc, r *Run) []byte {
+	out := make([]byte, 0, r.Size())
+	rd := r.Store.NewReader(r.File, streamBuf)
+	for {
+		chunk := rd.Next(p, streamBuf)
+		if chunk == nil {
+			return out
+		}
+		out = append(out, chunk...)
+	}
 }
 
 // TotalRunBytes returns the byte volume of the remaining runs.
@@ -246,6 +296,16 @@ func (a *Accumulator) Streams() []kv.PairStream {
 	a.segs = nil
 	a.bytes = 0
 	return out
+}
+
+// TakeSegments returns the raw buffered segments and clears the
+// accumulator. Callers that merge inside a pooled closure take the bytes on
+// the event loop and open streams over them inside the closure.
+func (a *Accumulator) TakeSegments() [][]byte {
+	segs := a.segs
+	a.segs = nil
+	a.bytes = 0
+	return segs
 }
 
 // PeekStreams opens the segments without clearing them — used for HOP's

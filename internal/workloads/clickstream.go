@@ -40,6 +40,9 @@ func Sessionization(cfg gen.ClickConfig) *Workload {
 		Reduce: sessionizeReducer(),
 		Costs:  engine.CostModel{MapNsPerRecord: 240},
 	}
+	// Each Fresh() construction owns its scratch buffers, so parallel tasks
+	// can run independent copies of the user functions.
+	w.Job.Fresh = func() engine.Job { return Sessionization(cfg).Job }
 	return w
 }
 
@@ -127,6 +130,7 @@ func countingWorkload(name string, cfg gen.ClickConfig, key func(dst []byte, c t
 		Agg:     CountAgg{},
 		Costs:   engine.CostModel{MapNsPerRecord: mapNs},
 	}
+	w.Job.Fresh = func() engine.Job { return countingWorkload(name, cfg, key, mapNs).Job }
 	return w
 }
 

@@ -163,6 +163,7 @@ func PageRankInit(cfg gen.GraphConfig) *Workload {
 		},
 		Costs: engine.CostModel{MapNsPerRecord: 400},
 	}
+	w.Job.Fresh = func() engine.Job { return PageRankInit(cfg).Job }
 	return w
 }
 
@@ -185,6 +186,7 @@ func PageRankIter(nodes int) engine.Job {
 		Reduce: gatherN,
 		Agg:    prAgg{nodes: nodes},
 		Costs:  engine.CostModel{MapNsPerRecord: 600, ReduceNsPerRecord: 80},
+		Fresh:  func() engine.Job { return PageRankIter(nodes) },
 	}
 }
 

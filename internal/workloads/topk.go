@@ -130,6 +130,7 @@ func TopK(k int) engine.Job {
 		Agg:      agg,
 		Reducers: 1,
 		Costs:    engine.CostModel{MapNsPerRecord: 120},
+		Fresh:    func() engine.Job { return TopK(k) },
 	}
 }
 

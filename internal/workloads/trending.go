@@ -41,6 +41,7 @@ func WindowedTopicCounts(cfg gen.ClickConfig, windowSecs uint32) *Workload {
 		Agg:     CountAgg{},
 		Costs:   engine.CostModel{MapNsPerRecord: 80},
 	}
+	w.Job.Fresh = func() engine.Job { return WindowedTopicCounts(cfg, windowSecs).Job }
 	return w
 }
 
@@ -77,5 +78,6 @@ func TopKPerWindow(k int) engine.Job {
 		Agg:      agg,
 		Reducers: 4,
 		Costs:    engine.CostModel{MapNsPerRecord: 150},
+		Fresh:    func() engine.Job { return TopKPerWindow(k) },
 	}
 }

@@ -70,6 +70,7 @@ func InvertedIndex(cfg gen.DocConfig) *Workload {
 		Agg:     PostingsAgg{},
 		Costs:   engine.CostModel{MapNsPerRecord: 2500, ReduceNsPerRecord: 30},
 	}
+	w.Job.Fresh = func() engine.Job { return InvertedIndex(cfg).Job }
 	return w
 }
 
