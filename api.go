@@ -12,6 +12,8 @@ import (
 	"onepass/internal/gen"
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
+	"onepass/internal/metrics"
+	"onepass/internal/profile"
 	"onepass/internal/sim"
 	"onepass/internal/trace"
 	"onepass/internal/workloads"
@@ -116,6 +118,36 @@ func ChaosFaults(seed int64, nodes int, horizon sim.Duration) FaultSchedule {
 
 // NewTraceLog returns an empty in-memory trace log to pass as Config.Trace.
 func NewTraceLog() *TraceLog { return trace.NewLog() }
+
+// Profiling re-exports: the post-run analyzer and the mergeable histogram
+// underneath it.
+type (
+	// RunProfile is the deterministic post-run analysis: critical path,
+	// exact makespan attribution, per-phase skew, shuffle balance, and
+	// per-node utilization.
+	RunProfile = profile.RunProfile
+	// Histogram is the mergeable log-bucketed latency histogram (exact
+	// count/sum/min/max, deterministic quantiles, associative Merge).
+	Histogram = metrics.Histogram
+)
+
+// ComputeProfile analyzes a completed traced run. The run must have been
+// traced into log (Config.Trace) — the profiler reconstructs the span DAG
+// from it — and fails loudly on span defects or attribution that does not
+// tile the makespan.
+func ComputeProfile(log *TraceLog, res *Result) (*RunProfile, error) {
+	return profile.Compute(log, res)
+}
+
+// AttachCounterTracks attaches the standard Perfetto counter tracks to a
+// traced run's log before export: the sampled cluster utilization and
+// byte-flow series plus in-flight map/reduce task counts.
+func AttachCounterTracks(log *TraceLog, res *Result) {
+	profile.AttachCounterTracks(log, res)
+}
+
+// NewHistogram returns an empty mergeable histogram.
+func NewHistogram() *Histogram { return metrics.NewHistogram() }
 
 // Workload constructors (the paper's Table I tasks).
 var (

@@ -1,0 +1,194 @@
+// Command profilediff compares a RunProfile JSON (cmd/runjob -profile-json,
+// cmd/experiments -profile-dir) against a checked-in golden profile and
+// fails (exit 1) when the run's shape drifts beyond tolerance. It is CI's
+// profile regression gate — the trace-level analogue of the benchdiff
+// ratchet:
+//
+//	go run ./cmd/runjob -workload sessionization -engine hadoop -size 8MB \
+//	  -profile-json /tmp/profile.json
+//	go run ./cmd/profilediff -golden ci/profile-golden.json -current /tmp/profile.json
+//
+// Three things gate, all two-sided:
+//
+//   - makespan: relative drift beyond -makespan-tol (default 5%). The
+//     simulation is deterministic, so any drift at a fixed config means a
+//     code change moved the virtual clock; the tolerance is headroom for
+//     intentional cost-model adjustments, not for noise.
+//   - attribution shares: each cause's share of the makespan may move at
+//     most -share-tol (default 5 points). A run whose time shifts from cpu
+//     to network has changed shape even if the makespan held still.
+//   - critical-path composition: same tolerance per path kind, so the
+//     bottleneck structure (map-bound vs shuffle-bound vs reduce-bound)
+//     cannot drift silently.
+//
+// Faster runs fail too: an unclaimed improvement means the golden profile
+// is stale, and a stale golden would let a follow-up change give the win
+// back unnoticed. Accept intentional movement by refreshing the golden:
+//
+//	go run ./cmd/profilediff -golden ci/profile-golden.json -current /tmp/profile.json -update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"onepass/internal/sim"
+)
+
+// profShape is the gated slice of a RunProfile. Parsing only these fields
+// keeps the gate focused on run shape; byte-level identity of the full
+// profile is CI's separate determinism check.
+type profShape struct {
+	Job         string       `json:"job"`
+	Engine      string       `json:"engine"`
+	Makespan    sim.Duration `json:"makespan"`
+	Attribution []shareEntry `json:"attribution"`
+	Composition []shareEntry `json:"pathComposition"`
+}
+
+// shareEntry covers both attribution rows (cause) and path-composition rows
+// (kind): a label with a share of the makespan.
+type shareEntry struct {
+	Cause string  `json:"cause"`
+	Kind  string  `json:"kind"`
+	Share float64 `json:"share"`
+}
+
+func (e shareEntry) label() string {
+	if e.Cause != "" {
+		return e.Cause
+	}
+	return e.Kind
+}
+
+func loadShape(path string) (*profShape, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p profShape
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if p.Makespan <= 0 || len(p.Attribution) == 0 {
+		return nil, fmt.Errorf("%s: not a RunProfile (no makespan/attribution)", path)
+	}
+	return &p, nil
+}
+
+// shareMap indexes entries by label. Labels absent from one side read as
+// share 0, so a cause appearing or vanishing shows up as a full-size drift.
+func shareMap(entries []shareEntry) map[string]float64 {
+	m := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		m[e.label()] = e.Share
+	}
+	return m
+}
+
+// labelUnion returns golden-side labels in order, then current-only labels
+// in their own order — deterministic without sorting away the profile's
+// canonical cause ordering.
+func labelUnion(golden, current []shareEntry) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, e := range golden {
+		if !seen[e.label()] {
+			seen[e.label()] = true
+			out = append(out, e.label())
+		}
+	}
+	for _, e := range current {
+		if !seen[e.label()] {
+			seen[e.label()] = true
+			out = append(out, e.label())
+		}
+	}
+	return out
+}
+
+// compareShares prints one row per label and returns how many drifted
+// beyond tol (absolute share points).
+func compareShares(section string, golden, current []shareEntry, tol float64) int {
+	g, c := shareMap(golden), shareMap(current)
+	bad := 0
+	for _, label := range labelUnion(golden, current) {
+		delta := c[label] - g[label]
+		status := "ok"
+		if delta > tol || delta < -tol {
+			status = "DRIFT"
+			bad++
+		}
+		fmt.Printf("%-8s %-12s %-15s %6.1f%% -> %6.1f%% (%+.1f pts)\n",
+			status, section, label, 100*g[label], 100*c[label], 100*delta)
+	}
+	return bad
+}
+
+func main() {
+	golden := flag.String("golden", "ci/profile-golden.json", "checked-in golden profile")
+	current := flag.String("current", "", "profile JSON to compare (required)")
+	makespanTol := flag.Float64("makespan-tol", 0.05, "fail when |current/golden - 1| of the makespan exceeds this")
+	shareTol := flag.Float64("share-tol", 0.05, "fail when any attribution or path-composition share moves more than this (absolute)")
+	update := flag.Bool("update", false, "rewrite the golden from -current instead of gating")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "usage: profilediff -golden ci/profile-golden.json -current profile.json [-update]")
+		os.Exit(2)
+	}
+
+	cur, err := loadShape(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profilediff: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		data, err := os.ReadFile(*current)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profilediff: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*golden, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "profilediff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("golden %s refreshed from %s (%s/%s, makespan %s)\n",
+			*golden, *current, cur.Job, cur.Engine, cur.Makespan)
+		return
+	}
+
+	gold, err := loadShape(*golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profilediff: %v\n", err)
+		os.Exit(2)
+	}
+	if gold.Job != cur.Job || gold.Engine != cur.Engine {
+		fmt.Fprintf(os.Stderr, "profilediff: golden is %s/%s but current is %s/%s — wrong golden file?\n",
+			gold.Job, gold.Engine, cur.Job, cur.Engine)
+		os.Exit(2)
+	}
+
+	bad := 0
+	drift := float64(cur.Makespan)/float64(gold.Makespan) - 1
+	status := "ok"
+	if drift > *makespanTol || drift < -*makespanTol {
+		status = "DRIFT"
+		bad++
+	}
+	fmt.Printf("%-8s %-12s %-15s %v -> %v (%+.1f%%)\n",
+		status, "makespan", "", gold.Makespan, cur.Makespan, 100*drift)
+
+	bad += compareShares("attribution", gold.Attribution, cur.Attribution, *shareTol)
+	bad += compareShares("path", gold.Composition, cur.Composition, *shareTol)
+
+	fmt.Printf("\n%s/%s: makespan ±%.0f%%, shares ±%.0f pts: %d drift(s)\n",
+		cur.Job, cur.Engine, 100**makespanTol, 100**shareTol, bad)
+	if bad > 0 {
+		fmt.Println("intentional movement? refresh the golden:")
+		fmt.Printf("  go run ./cmd/profilediff -golden %s -current %s -update\n", *golden, *current)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"onepass/internal/sim"
+)
+
+func shapeFixture() *profShape {
+	return &profShape{
+		Job: "sessionization", Engine: "hadoop", Makespan: sim.Duration(500 * sim.Millisecond),
+		Attribution: []shareEntry{
+			{Cause: "cpu", Share: 0.30},
+			{Cause: "network", Share: 0.60},
+			{Cause: "scheduler-idle", Share: 0.10},
+		},
+		Composition: []shareEntry{
+			{Kind: "map", Share: 0.40},
+			{Kind: "reduce", Share: 0.60},
+		},
+	}
+}
+
+func TestCompareSharesWithinTolerance(t *testing.T) {
+	g := shapeFixture()
+	c := shapeFixture()
+	c.Attribution[0].Share = 0.33 // +3 pts, under the 5-pt tolerance
+	c.Attribution[1].Share = 0.57
+	if bad := compareShares("attribution", g.Attribution, c.Attribution, 0.05); bad != 0 {
+		t.Fatalf("3-pt drift flagged at 5-pt tolerance: %d", bad)
+	}
+}
+
+func TestCompareSharesFlagsDriftBothWays(t *testing.T) {
+	g := shapeFixture()
+	c := shapeFixture()
+	// cpu gains 10 pts at network's expense: both rows drift.
+	c.Attribution[0].Share = 0.40
+	c.Attribution[1].Share = 0.50
+	if bad := compareShares("attribution", g.Attribution, c.Attribution, 0.05); bad != 2 {
+		t.Fatalf("got %d drifts, want 2 (gain and loss both gate)", bad)
+	}
+}
+
+func TestCompareSharesNewAndVanishedCauses(t *testing.T) {
+	g := shapeFixture()
+	c := shapeFixture()
+	// barrier-wait appears with 8 pts; scheduler-idle vanishes entirely.
+	c.Attribution = []shareEntry{
+		{Cause: "cpu", Share: 0.30},
+		{Cause: "network", Share: 0.62},
+		{Cause: "barrier-wait", Share: 0.08},
+	}
+	if bad := compareShares("attribution", g.Attribution, c.Attribution, 0.05); bad != 2 {
+		t.Fatalf("got %d drifts, want 2 (new cause + vanished cause)", bad)
+	}
+}
+
+func TestLabelUnionKeepsGoldenOrder(t *testing.T) {
+	g := []shareEntry{{Cause: "cpu"}, {Cause: "network"}}
+	c := []shareEntry{{Cause: "network"}, {Cause: "disk-queue"}}
+	got := labelUnion(g, c)
+	want := []string{"cpu", "network", "disk-queue"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("labelUnion = %v, want %v", got, want)
+	}
+}

@@ -37,6 +37,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto or chrome://tracing)")
 	jsonOut := flag.Bool("json", false, "print the full engine result as JSON instead of the text report")
 	gantt := flag.Bool("gantt", false, "render the trace as a plain-text Gantt chart (implies tracing)")
+	profileFlag := flag.Bool("profile", false,
+		"print the post-run profile: makespan attribution, critical path, span statistics (implies tracing)")
+	profileJSON := flag.String("profile-json", "", "write the run profile as JSON to this file (implies tracing)")
 	faultSpec := flag.String("fault", "",
 		"fault schedule: comma-separated kind@T[+W]:nN[xF], kinds fail|disk-slow|net-slow|straggler (e.g. 'fail@30s:n3,disk-slow@10s+20s:n1x8')")
 	faultSeed := flag.Int64("fault-seed", 0, "derive a chaos fault schedule from this seed (ignored when -fault is set)")
@@ -67,7 +70,7 @@ func main() {
 	}
 
 	var tl *onepass.TraceLog
-	if *tracePath != "" || *gantt {
+	if *tracePath != "" || *gantt || *profileFlag || *profileJSON != "" {
 		tl = onepass.NewTraceLog()
 		cfg.Trace = tl
 	}
@@ -139,6 +142,16 @@ func main() {
 			res.Pool.Dispatched, res.Pool.Busy.Round(time.Millisecond), res.Pool.MaxInFlight)
 	}
 
+	var prof *onepass.RunProfile
+	if tl != nil {
+		// Counter tracks (utilization, in-flight work) render in Perfetto
+		// alongside the spans; attach before the Chrome export.
+		onepass.AttachCounterTracks(tl, res)
+		if prof, err = onepass.ComputeProfile(tl, res); err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+	}
+
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -152,15 +165,40 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", tl.Len(), *tracePath)
 	}
+	if *profileJSON != "" {
+		b, err := prof.MarshalIndentJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*profileJSON, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote profile to %s\n", *profileJSON)
+	}
 
 	if *jsonOut {
+		// The deterministic Result lives under "result"; the real-time pool
+		// stats (wall-clock, hence nondeterministic) live under
+		// "diagnostics" so determinism checks can select one key.
+		out := struct {
+			Result      *onepass.Result `json:"result"`
+			Diagnostics diagnostics     `json:"diagnostics"`
+		}{res, diagnostics{poolStats{
+			Dispatched:  res.Pool.Dispatched,
+			MaxInFlight: res.Pool.MaxInFlight,
+			BusyMS:      float64(res.Pool.Busy) / float64(time.Millisecond),
+		}}}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
-		if err := enc.Encode(res); err != nil {
+		if err := enc.Encode(out); err != nil {
 			log.Fatal(err)
+		}
+		if *profileFlag {
+			fmt.Fprint(os.Stderr, prof.Report())
 		}
 		if *gantt {
 			fmt.Fprint(os.Stderr, tl.Gantt(72))
+			fmt.Fprint(os.Stderr, prof.NodeUtilReport())
 		}
 		return
 	}
@@ -182,6 +220,9 @@ func main() {
 	for _, name := range res.Counters.Names() {
 		fmt.Printf("  %-28s %.0f\n", name, res.Counters.Get(name))
 	}
+	fmt.Println()
+	fmt.Printf("Pool: %d closures dispatched, peak %d in flight, %s aggregate closure time\n",
+		res.Pool.Dispatched, res.Pool.MaxInFlight, res.Pool.Busy.Round(time.Millisecond))
 	if len(res.Snapshots) > 0 {
 		fmt.Println()
 		fmt.Printf("Early answers: %d snapshots, first at %v\n", len(res.Snapshots), res.Snapshots[0].At)
@@ -198,9 +239,28 @@ func main() {
 				pp.At, 100*pp.MapFraction, pp.Pairs, 100*cov, pp.SpilledBytes)
 		}
 	}
+	if *profileFlag {
+		fmt.Println()
+		fmt.Print(prof.Report())
+	}
 	if *gantt {
 		fmt.Println()
 		fmt.Println("Trace Gantt:")
 		fmt.Print(tl.Gantt(72))
+		fmt.Print(prof.NodeUtilReport())
 	}
+}
+
+// diagnostics is the runjob -json block for real-time (non-deterministic)
+// run observability, kept out of the Result proper so serial and pooled
+// runs still serialize byte-identically once this key is stripped.
+type diagnostics struct {
+	Pool poolStats `json:"pool"`
+}
+
+// poolStats mirrors sim.WorkStats for JSON consumers.
+type poolStats struct {
+	Dispatched  int64   `json:"dispatched"`
+	MaxInFlight int64   `json:"max_in_flight"`
+	BusyMS      float64 `json:"busy_ms"`
 }

@@ -148,8 +148,15 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 		if node.Failed() {
 			node = survivingNode(rt)
 		}
-		return reexecMapOutput(rt, p, node, &job, costs, blockByTask[lost.TaskID],
+		// Span the recovery attempt like a real map task (attempt 1) so the
+		// profiler's span DAG stays connected through fault recovery.
+		span := rt.Timeline.Begin(engine.SpanMap, p.Now())
+		rt.Emit(trace.TaskStart, engine.SpanMap, node.ID, lost.TaskID, 1)
+		out := reexecMapOutput(rt, p, node, &job, costs, blockByTask[lost.TaskID],
 			partition, &opts, agg, mapCombined, lost)
+		span.End(p.Now())
+		rt.Emit(trace.TaskFinish, engine.SpanMap, node.ID, lost.TaskID, 1)
+		return out
 	}
 	rt.InstallFaults(opts.Faults, reg.FailNode)
 

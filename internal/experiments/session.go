@@ -19,6 +19,7 @@ import (
 	"onepass/internal/gen"
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
+	"onepass/internal/profile"
 	"onepass/internal/sim"
 	"onepass/internal/trace"
 	"onepass/internal/workloads"
@@ -84,6 +85,13 @@ type Session struct {
 	// a hash of the full spec. Tracing is observational: results are
 	// byte-identical with or without it.
 	TraceDir string
+	// ProfileDir, when non-empty, traces every executed run and writes its
+	// RunProfile (critical path, makespan attribution, span statistics) as
+	// a JSON artifact under the directory, named like TraceDir's files. A
+	// run whose trace fails profiling (broken span DAG, attribution that
+	// does not tile the makespan) panics the sweep: experiment numbers
+	// built on a malformed run would be silently wrong.
+	ProfileDir string
 	// Audit arms the runtime invariant audits on every executed run. A
 	// violated invariant panics the run (experiment results built on a run
 	// that broke conservation would be silently wrong). Like tracing, the
@@ -236,7 +244,7 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 	}
 	rt := engine.NewRuntimeSampled(env, cl, d, s.sampleInterval())
 	var tl *trace.Log
-	if s.TraceDir != "" {
+	if s.TraceDir != "" || s.ProfileDir != "" {
 		tl = trace.NewLog()
 		rt.Tracer = tl
 	}
@@ -302,25 +310,40 @@ func (s *Session) execute(spec runSpec) *engine.Result {
 		panic(fmt.Sprintf("experiments: %s/%s: %v", spec.Engine, spec.Workload, aerr))
 	}
 	if tl != nil {
-		if terr := s.writeTrace(spec, tl); terr != nil {
-			s.logf("  trace write failed: %v", terr)
+		if s.ProfileDir != "" {
+			if perr := s.writeProfile(spec, tl, res); perr != nil {
+				panic(fmt.Sprintf("experiments: %s/%s: profile: %v", spec.Engine, spec.Workload, perr))
+			}
+		}
+		if s.TraceDir != "" {
+			if terr := s.writeTrace(spec, tl); terr != nil {
+				s.logf("  trace write failed: %v", terr)
+			}
 		}
 	}
 	s.logf("  done: makespan=%v cpu=%.1fs", res.Makespan, res.CPU.Total())
 	return res
 }
 
-// writeTrace persists one executed run's trace under TraceDir. The file name
-// hashes the JSON spec so distinct parameterizations of the same
+// artifactName builds a per-run artifact file name: workload, engine, and a
+// hash of the JSON spec so distinct parameterizations of the same
 // workload/engine pair never collide.
-func (s *Session) writeTrace(spec runSpec, tl *trace.Log) error {
+func artifactName(spec runSpec, suffix string) (string, error) {
 	b, err := json.Marshal(spec)
 	if err != nil {
-		return err
+		return "", err
 	}
 	h := fnv.New32a()
 	h.Write(b)
-	name := fmt.Sprintf("%s-%s-%08x.trace.json", spec.Workload, spec.Engine, h.Sum32())
+	return fmt.Sprintf("%s-%s-%08x.%s", spec.Workload, spec.Engine, h.Sum32(), suffix), nil
+}
+
+// writeTrace persists one executed run's trace under TraceDir.
+func (s *Session) writeTrace(spec runSpec, tl *trace.Log) error {
+	name, err := artifactName(spec, "trace.json")
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(filepath.Join(s.TraceDir, name))
 	if err != nil {
 		return err
@@ -330,6 +353,25 @@ func (s *Session) writeTrace(spec runSpec, tl *trace.Log) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeProfile analyzes one executed run's trace and persists the RunProfile
+// JSON under ProfileDir. Analysis errors propagate: they mean the run's span
+// DAG or attribution is broken, not that the artifact is optional.
+func (s *Session) writeProfile(spec runSpec, tl *trace.Log, res *engine.Result) error {
+	rp, err := profile.Compute(tl, res)
+	if err != nil {
+		return err
+	}
+	b, err := rp.MarshalIndentJSON()
+	if err != nil {
+		return err
+	}
+	name, err := artifactName(spec, "profile.json")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.ProfileDir, name), b, 0o644)
 }
 
 // segmentLimit scales Hadoop's in-memory merge threshold (1000 segments at

@@ -81,7 +81,15 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 		if node.Failed() {
 			node = surviving(rt)
 		}
-		return executeMapAttempt(rt, p, node, &job, costs, blockByTask[lost.TaskID], partition)
+		// The recovery attempt is a real map task: span it like one (attempt
+		// 1) so the profiler's critical path sees the re-executed work
+		// instead of an unexplained hole inside the requesting reducer.
+		span := rt.Timeline.Begin(engine.SpanMap, p.Now())
+		rt.Emit(trace.TaskStart, engine.SpanMap, node.ID, lost.TaskID, 1)
+		out := executeMapAttempt(rt, p, node, &job, costs, blockByTask[lost.TaskID], partition)
+		span.End(p.Now())
+		rt.Emit(trace.TaskFinish, engine.SpanMap, node.ID, lost.TaskID, 1)
+		return out
 	}
 	rt.InstallFaults(opts.Faults, reg.FailNode)
 

@@ -77,6 +77,7 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 		return
 	}
 	span := rs.rt.Timeline.Begin(engine.SpanMerge, p.Now())
+	rs.rt.Emit(trace.PhaseStart, engine.SpanMerge, rs.node.ID, rs.r, 0)
 	bufBytes := rs.Acc.Bytes()
 	segs := rs.Acc.TakeSegments()
 	var out []byte
@@ -130,6 +131,7 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 	}
 	rs.Merger.AddRun(run)
 	span.End(p.Now())
+	rs.rt.Emit(trace.PhaseEnd, engine.SpanMerge, rs.node.ID, rs.r, 0)
 	if rs.rt.Tracing() {
 		rs.rt.Emit(trace.Spill, "reduce-spill", rs.node.ID, rs.r, 0,
 			trace.Num("bytes", float64(run.Size())), trace.Num("spill", float64(rs.spillSeq)))
@@ -139,6 +141,7 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 // MergePass runs one charged multi-pass merge step.
 func (rs *ReduceSide) MergePass(p *sim.Proc) {
 	span := rs.rt.Timeline.Begin(engine.SpanMerge, p.Now())
+	rs.rt.Emit(trace.PhaseStart, engine.SpanMerge, rs.node.ID, rs.r, 0)
 	cmpBefore, outBefore := rs.Merger.Comparisons, rs.Merger.BytesOut
 	inBefore := rs.Merger.BytesIn
 	rs.Merger.MergePass(p)
@@ -155,6 +158,7 @@ func (rs *ReduceSide) MergePass(p *sim.Proc) {
 	rs.rt.Counters.Add(engine.CtrReduceSpillBytes, float64(dBytes))
 	rs.rt.Counters.Add(engine.CtrMergePasses, 1)
 	span.End(p.Now())
+	rs.rt.Emit(trace.PhaseEnd, engine.SpanMerge, rs.node.ID, rs.r, 0)
 	if rs.rt.Tracing() {
 		rs.rt.Emit(trace.MergePass, "merge-pass", rs.node.ID, rs.r, 0,
 			trace.Num("bytes", float64(dBytes)), trace.Num("runsLeft", float64(rs.Merger.Runs())))

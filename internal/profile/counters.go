@@ -1,0 +1,48 @@
+package profile
+
+import (
+	"onepass/internal/engine"
+	"onepass/internal/metrics"
+	"onepass/internal/sim"
+	"onepass/internal/trace"
+)
+
+// AttachCounterTracks attaches the standard Perfetto counter tracks to a
+// traced run's log: the sampled cluster utilization and byte-flow series
+// from the Result, plus in-flight map/reduce task counts derived from the
+// span events themselves. Deterministic — both sources are byte-stable
+// across intra-run parallelism widths — so traces with counters remain
+// golden-testable.
+func AttachCounterTracks(log *trace.Log, res *engine.Result) {
+	if log == nil || res == nil {
+		return
+	}
+	for _, s := range []struct {
+		name   string
+		series *metrics.Series
+	}{
+		{"cpu-util", res.CPUUtil},
+		{"cpu-iowait", res.Iowait},
+		{"disk-bytes-read", res.BytesRead},
+		{"disk-bytes-written", res.BytesWritten},
+		{"net-bytes", res.NetBytes},
+	} {
+		log.AddCounterTrack(seriesTrack(s.name, s.series))
+	}
+	log.AddCounterTrack(log.InFlightTrack("maps-in-flight", engine.SpanMap, false))
+	log.AddCounterTrack(log.InFlightTrack("reduces-in-flight", engine.SpanReduce, false))
+}
+
+// seriesTrack converts a sampled series into a stepped counter track, one
+// point per bucket at the bucket's start.
+func seriesTrack(name string, s *metrics.Series) trace.CounterTrack {
+	if s == nil {
+		return trace.CounterTrack{}
+	}
+	t := trace.CounterTrack{Name: name, Unit: s.Unit}
+	for i := 0; i < s.Len(); i++ {
+		t.Points = append(t.Points, trace.CounterPoint{
+			At: sim.Time(sim.Duration(i) * s.Bucket), Value: s.At(i)})
+	}
+	return t
+}

@@ -1,0 +1,259 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"onepass/internal/engine"
+	"onepass/internal/metrics"
+	"onepass/internal/sim"
+	"onepass/internal/trace"
+)
+
+const ms = sim.Millisecond
+
+func taskEv(t trace.Type, name string, node, task, attempt int, at sim.Duration) trace.Event {
+	return trace.Event{At: sim.Time(at), Type: t, Name: name, Node: node, Task: task, Attempt: attempt}
+}
+
+// TestExtractSpansDefects pins the validator's three defect classes.
+func TestExtractSpansDefects(t *testing.T) {
+	log := trace.NewLog()
+	// Clean map span.
+	log.Emit(taskEv(trace.TaskStart, "map", 0, 0, 0, 1*ms))
+	log.Emit(taskEv(trace.TaskFinish, "map", 0, 0, 0, 5*ms))
+	// Orphaned end: finish without start.
+	log.Emit(taskEv(trace.TaskFinish, "map", 0, 7, 0, 6*ms))
+	// Zero-length span.
+	log.Emit(taskEv(trace.PhaseStart, "shuffle", 1, 2, 0, 8*ms))
+	log.Emit(taskEv(trace.PhaseEnd, "shuffle", 1, 2, 0, 8*ms))
+	// Unclosed span.
+	log.Emit(taskEv(trace.TaskStart, "reduce", 2, 3, 0, 9*ms))
+
+	spans, issues := ExtractSpans(log.Events())
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (clean map + zero-length shuffle)", len(spans))
+	}
+	if len(issues) != 3 {
+		t.Fatalf("got %d issues, want 3: %v", len(issues), issues)
+	}
+	for i, want := range []string{"orphaned end", "zero-length span", "unclosed task span"} {
+		if !strings.Contains(issues[i], want) {
+			t.Errorf("issue %d = %q, want %q", i, issues[i], want)
+		}
+	}
+	if err := ValidateSpans(log); err == nil {
+		t.Error("ValidateSpans accepted a defective trace")
+	}
+
+	clean := trace.NewLog()
+	clean.Emit(taskEv(trace.TaskStart, "map", 0, 0, 0, 1*ms))
+	clean.Emit(taskEv(trace.TaskFinish, "map", 0, 0, 0, 5*ms))
+	if err := ValidateSpans(clean); err != nil {
+		t.Errorf("ValidateSpans rejected a clean trace: %v", err)
+	}
+}
+
+// TestCriticalPathSyntheticChain hand-builds the canonical shape — two map
+// waves on one slot feeding a reduce with shuffle/merge/reduce phases — and
+// pins the exact segment sequence, including the slot-wait gap, startup,
+// and finalize tail.
+func TestCriticalPathSyntheticChain(t *testing.T) {
+	mk := func(kind string, phase bool, node, task int, start, end sim.Duration) Span {
+		return Span{Kind: kind, Phase: phase, Node: node, Task: task,
+			Start: sim.Time(start), End: sim.Time(end)}
+	}
+	spans := []Span{
+		// Map 0 runs [1,5]ms; map 1 waits for the slot, runs [6,12]ms.
+		mk("map", false, 0, 0, 1*ms, 5*ms),
+		mk("map", false, 0, 1, 6*ms, 12*ms),
+		// Reduce 0 runs [2,20]ms: shuffle ingest to 13, merge to 16, final
+		// reduce scan to 20.
+		mk("reduce", false, 1, 0, 2*ms, 20*ms),
+		mk("shuffle", true, 1, 0, 2*ms, 13*ms),
+		mk("merge", true, 1, 0, 13*ms, 16*ms),
+		mk("reduce", true, 1, 0, 16*ms, 20*ms),
+	}
+	makespan := 21 * ms // 1ms of job-completion bookkeeping after the reduce
+
+	segs, err := criticalPath(spans, makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind     string
+		start    sim.Duration
+		duration sim.Duration
+	}{
+		{"startup", 0, 1 * ms},
+		{"map", 1 * ms, 4 * ms},  // map 0
+		{"wait", 5 * ms, 1 * ms}, // slot gap before map 1
+		{"map", 6 * ms, 6 * ms},  // map 1 — the barrier-binding attempt
+		{"shuffle", 12 * ms, 1 * ms},
+		{"merge", 13 * ms, 3 * ms},
+		{"reduce", 16 * ms, 4 * ms},
+		{"finalize", 20 * ms, 1 * ms},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments, want %d: %+v", len(segs), len(want), segs)
+	}
+	for i, w := range want {
+		if segs[i].Kind != w.kind || segs[i].Start != sim.Time(w.start) || segs[i].Duration() != w.duration {
+			t.Errorf("segment %d = %s [%s +%s], want %s [%s +%s]",
+				i, segs[i].Kind, segs[i].Start, segs[i].Duration(), w.kind, sim.Time(w.start), w.duration)
+		}
+	}
+
+	comp := pathComposition(segs, makespan)
+	var sum sim.Duration
+	for _, ks := range comp {
+		sum += ks.Time
+	}
+	if sum != makespan {
+		t.Errorf("composition sums to %s, want %s", sum, makespan)
+	}
+}
+
+// TestCriticalPathRejectsDisconnectedDAG: a span ending after the declared
+// makespan must be a hard error, not a silently clipped report.
+func TestCriticalPathRejectsDisconnectedDAG(t *testing.T) {
+	spans := []Span{
+		{Kind: "map", Node: 0, Task: 0, Start: sim.Time(1 * ms), End: sim.Time(30 * ms)},
+	}
+	if _, err := criticalPath(spans, 20*ms); err == nil {
+		t.Error("span past makespan accepted")
+	}
+	if _, err := criticalPath(nil, 20*ms); err == nil {
+		t.Error("empty span set accepted")
+	}
+}
+
+// TestAttributionTilesExactly builds synthetic series with awkward
+// fractions and a non-aligned makespan, and requires the six causes to sum
+// to the makespan exactly, with the documented residual precedence.
+func TestAttributionTilesExactly(t *testing.T) {
+	bucket := 10 * ms
+	mkSeries := func(name string, vals ...float64) *metrics.Series {
+		s := metrics.NewSeries(name, "x", bucket)
+		for i, v := range vals {
+			s.Set(sim.Time(sim.Duration(i)*bucket), v)
+		}
+		return s
+	}
+	res := &engine.Result{
+		// 3.5 buckets: the last is partial.
+		Makespan: 35 * ms,
+		// Bucket 0: pure cpu 1/3 (non-representable fraction). Bucket 1:
+		// cpu+iowait filling the bucket. Bucket 2: nothing but network
+		// bytes. Bucket 3 (partial): idle.
+		CPUUtil:      mkSeries("cpu", 1.0/3, 0.25, 0, 0),
+		Iowait:       mkSeries("iowait", 0, 0.75, 0, 0),
+		BytesRead:    mkSeries("br", 100, 0, 0, 0),
+		BytesWritten: mkSeries("bw", 0, 0, 0, 0),
+		NetBytes:     mkSeries("net", 0, 0, 800, 0),
+	}
+	shares, err := attribute(res, nil, res.Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := make(map[Cause]sim.Duration)
+	var sum sim.Duration
+	for _, s := range shares {
+		total[s.Cause] = s.Time
+		sum += s.Time
+	}
+	if sum != res.Makespan {
+		t.Fatalf("attribution sums to %s, want %s", sum, res.Makespan)
+	}
+	// Bucket 0 residual goes to disk (bytes read); bucket 2 entirely to
+	// network; bucket 3 (partial, 5ms) to scheduler-idle.
+	if total[CauseNet] != 10*ms {
+		t.Errorf("network = %s, want 10ms", total[CauseNet])
+	}
+	if total[CauseIdle] != 5*ms {
+		t.Errorf("scheduler-idle = %s, want 5ms", total[CauseIdle])
+	}
+	if total[CauseIowait] != 15*ms/2 {
+		t.Errorf("iowait = %s, want 7.5ms (0.75 of bucket 1)", total[CauseIowait])
+	}
+	if total[CauseDisk] == 0 {
+		t.Error("disk-queue got nothing despite bucket-0 residual with disk bytes")
+	}
+}
+
+// TestAttributionBarrierClassification: residual time under an open shuffle
+// phase with no disk or network signal classifies as barrier-wait.
+func TestAttributionBarrierClassification(t *testing.T) {
+	bucket := 10 * ms
+	flat := func(name string, vals ...float64) *metrics.Series {
+		s := metrics.NewSeries(name, "x", bucket)
+		for i, v := range vals {
+			s.Set(sim.Time(sim.Duration(i)*bucket), v)
+		}
+		return s
+	}
+	res := &engine.Result{
+		Makespan:     20 * ms,
+		CPUUtil:      flat("cpu", 0, 0),
+		Iowait:       flat("iowait", 0, 0),
+		BytesRead:    flat("br", 0, 0),
+		BytesWritten: flat("bw", 0, 0),
+		NetBytes:     flat("net", 0, 0),
+	}
+	spans := []Span{
+		// Shuffle phase open across bucket 0 only.
+		{Kind: engine.SpanShuffle, Phase: true, Node: 0, Task: 0,
+			Start: 0, End: sim.Time(10 * ms)},
+	}
+	shares, err := attribute(res, spans, res.Makespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := make(map[Cause]sim.Duration)
+	for _, s := range shares {
+		total[s.Cause] = s.Time
+	}
+	if total[CauseBarrier] != 10*ms {
+		t.Errorf("barrier-wait = %s, want 10ms", total[CauseBarrier])
+	}
+	if total[CauseIdle] != 10*ms {
+		t.Errorf("scheduler-idle = %s, want 10ms", total[CauseIdle])
+	}
+}
+
+// TestReportRendersEveryBlock sanity-checks the text renderer over a real
+// synthetic profile structure.
+func TestReportRendersEveryBlock(t *testing.T) {
+	h := metrics.NewHistogram()
+	h.Record(int64(5 * ms))
+	rp := &RunProfile{
+		Job: "sessionization", Engine: "hadoop", Makespan: 21 * ms,
+		Attribution: []Share{{Cause: CauseCPU, Time: 21 * ms, Share: 1}},
+		CriticalPath: []Segment{
+			{Kind: "map", Node: 0, Task: 1, Start: 0, End: sim.Time(21 * ms)},
+		},
+		PathComposition: []KindShare{{Kind: "map", Time: 21 * ms, Share: 1}},
+		Phases: []PhaseStats{{Scope: "task", Name: "map", Count: 1,
+			Total: 5 * ms, Skew: 1, Hist: h}},
+		TopSlack: []SlackEntry{{Kind: "map", Node: 0, Task: 1, Slack: 2 * ms}},
+		Shuffle: ShuffleStats{Transfers: 4, TotalBytes: 4096, MaxPartition: 2,
+			MaxBytes: 2048, Imbalance: 2.0,
+			Partitions: []PartitionBytes{{Partition: 2, Bytes: 2048}}},
+		Nodes: []NodeUtil{{Node: 0, Busy: 21 * ms}},
+	}
+	out := rp.Report()
+	for _, want := range []string{
+		"run profile: sessionization / hadoop",
+		"makespan attribution",
+		"critical path",
+		"composition:",
+		"span statistics",
+		"most slack",
+		"shuffle: 4 transfers",
+		"node utilization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

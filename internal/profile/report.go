@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+
+	"onepass/internal/sim"
+)
+
+// Report renders the profile as a terminal-width text report: the
+// attribution table, the critical path with its composition, per-population
+// duration statistics, slack, shuffle balance, and the node utilization
+// footer. Pure formatting over the deterministic profile, so the text is as
+// golden-testable as the JSON.
+func (rp *RunProfile) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run profile: %s / %s\n", rp.Job, rp.Engine)
+	fmt.Fprintf(&b, "makespan: %s\n", rp.Makespan)
+
+	b.WriteString("\nmakespan attribution (every nanosecond assigned to one cause):\n")
+	for _, s := range rp.Attribution {
+		fmt.Fprintf(&b, "  %-15s %12s  %5.1f%%\n", s.Cause, s.Time, 100*s.Share)
+	}
+	fmt.Fprintf(&b, "  %-15s %12s  %5.1f%%\n", "total", rp.Makespan, 100.0)
+
+	fmt.Fprintf(&b, "\ncritical path (%d segments, contiguous over [0, %s]):\n",
+		len(rp.CriticalPath), rp.Makespan)
+	for _, s := range rp.CriticalPath {
+		who := ""
+		if s.Task >= 0 {
+			who = fmt.Sprintf("n%d task %d", s.Node, s.Task)
+			if s.Attempt > 0 {
+				who += fmt.Sprintf(" attempt %d", s.Attempt)
+			}
+		}
+		fmt.Fprintf(&b, "  %12s  %-8s %-18s %12s\n", s.Start, s.Kind, who, s.Duration())
+	}
+	b.WriteString("  composition:")
+	for i, ks := range rp.PathComposition {
+		if i > 0 {
+			b.WriteString(" |")
+		}
+		fmt.Fprintf(&b, " %s %.1f%%", ks.Kind, 100*ks.Share)
+	}
+	b.WriteString("\n")
+
+	if len(rp.Phases) > 0 {
+		b.WriteString("\nspan statistics:\n")
+		fmt.Fprintf(&b, "  %-14s %5s %12s %12s %12s %12s %12s %6s\n",
+			"population", "count", "p50", "p95", "p99", "max", "total", "skew")
+		for _, ps := range rp.Phases {
+			fmt.Fprintf(&b, "  %-14s %5d %12s %12s %12s %12s %12s %6.2f\n",
+				ps.Name+" "+ps.Scope, ps.Count,
+				sim.Duration(ps.Hist.P50()), sim.Duration(ps.Hist.P95()),
+				sim.Duration(ps.Hist.P99()), sim.Duration(ps.Hist.Max()),
+				ps.Total, ps.Skew)
+		}
+	}
+
+	if len(rp.TopSlack) > 0 {
+		b.WriteString("\nmost slack (could slow down for free):\n")
+		for _, se := range rp.TopSlack {
+			fmt.Fprintf(&b, "  %-7s task %-4d n%-3d %12s\n", se.Kind, se.Task, se.Node, se.Slack)
+		}
+	}
+
+	if rp.Shuffle.Transfers > 0 {
+		fmt.Fprintf(&b, "\nshuffle: %d transfers, %s across %d partitions; imbalance max/mean %.2f (hot partition %d, %s)\n",
+			rp.Shuffle.Transfers, fmtBytes(rp.Shuffle.TotalBytes), len(rp.Shuffle.Partitions),
+			rp.Shuffle.Imbalance, rp.Shuffle.MaxPartition, fmtBytes(rp.Shuffle.MaxBytes))
+	}
+
+	b.WriteString("\n")
+	b.WriteString(RenderNodeUtil(rp.Nodes, rp.Makespan))
+	return b.String()
+}
+
+// NodeUtilReport renders just the node utilization footer — the Gantt view
+// appends it so "was node n3 idle" is answerable without opening Perfetto.
+func (rp *RunProfile) NodeUtilReport() string {
+	return RenderNodeUtil(rp.Nodes, rp.Makespan)
+}
+
+// RenderNodeUtil renders the per-node busy/iowait/idle split — also the
+// Gantt chart's utilization footer.
+func RenderNodeUtil(nodes []NodeUtil, makespan sim.Duration) string {
+	if len(nodes) == 0 || makespan <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("node utilization (busy / iowait / idle):\n")
+	pct := func(d sim.Duration) float64 { return 100 * float64(d) / float64(makespan) }
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  n%-3d %5.1f%% / %5.1f%% / %5.1f%%\n",
+			n.Node, pct(n.Busy), pct(n.Iowait), pct(n.Idle))
+	}
+	return b.String()
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix, one decimal.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,165 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"onepass/internal/sim"
+	"onepass/internal/trace"
+)
+
+// Span is one closed task or phase span reconstructed from a trace log.
+// Task spans ("map", "reduce") bracket whole tasks; phase spans ("shuffle",
+// "merge", "reduce") bracket the stages inside a reduce task.
+type Span struct {
+	// Kind is the span name: "map"/"reduce" for task spans, the phase name
+	// for phase spans.
+	Kind string `json:"kind"`
+	// Phase distinguishes phase spans from task spans (the trace reuses the
+	// name "reduce" for both the reduce task and its final scan phase).
+	Phase   bool `json:"phase,omitempty"`
+	Node    int  `json:"node"`
+	Task    int  `json:"task"`
+	Attempt int  `json:"attempt,omitempty"`
+
+	Start sim.Time `json:"start"`
+	End   sim.Time `json:"end"`
+}
+
+// Duration returns the span length.
+func (s Span) Duration() sim.Duration { return s.End.Sub(s.Start) }
+
+func (s Span) String() string {
+	scope := "task"
+	if s.Phase {
+		scope = "phase"
+	}
+	return fmt.Sprintf("%s %s n%d task %d attempt %d [%s, %s]",
+		s.Kind, scope, s.Node, s.Task, s.Attempt, s.Start, s.End)
+}
+
+// spanKey identifies one logical span for Start/End pairing. Task spans pair
+// on (name, task, attempt) — re-executed attempts carry a distinct attempt —
+// and phase spans on (name, node, task): every engine emits phase spans from
+// the single process owning that reducer.
+type spanKey struct {
+	phase   bool
+	name    string
+	node    int
+	task    int
+	attempt int
+}
+
+func keyOf(ev trace.Event, phase bool) spanKey {
+	return spanKey{phase: phase, name: ev.Name, node: ev.Node, task: ev.Task, attempt: ev.Attempt}
+}
+
+// ExtractSpans reconstructs the closed spans from a trace log and reports
+// every structural defect it finds: end events with no matching start,
+// start events never closed, and zero-length spans. A run whose engines
+// close every span they open produces an empty issue list — the invariant
+// the bugfix-sweep regression test pins per engine.
+func ExtractSpans(events []trace.Event) (spans []Span, issues []string) {
+	open := make(map[spanKey][]sim.Time)
+	for _, ev := range events {
+		isSpan, opens := ev.Type.Span()
+		if !isSpan {
+			continue
+		}
+		phase := ev.Type == trace.PhaseStart || ev.Type == trace.PhaseEnd
+		k := keyOf(ev, phase)
+		if opens {
+			open[k] = append(open[k], ev.At)
+			continue
+		}
+		stack := open[k]
+		if len(stack) == 0 {
+			issues = append(issues, fmt.Sprintf("orphaned end: %s %q n%d task %d attempt %d at %s",
+				ev.Type, ev.Name, ev.Node, ev.Task, ev.Attempt, ev.At))
+			continue
+		}
+		start := stack[len(stack)-1]
+		open[k] = stack[:len(stack)-1]
+		sp := Span{Kind: ev.Name, Phase: phase, Node: ev.Node, Task: ev.Task,
+			Attempt: ev.Attempt, Start: start, End: ev.At}
+		if sp.End == sp.Start {
+			issues = append(issues, "zero-length span: "+sp.String())
+		}
+		if sp.End < sp.Start {
+			issues = append(issues, "negative span: "+sp.String())
+		}
+		spans = append(spans, sp)
+	}
+	// Unclosed spans, in deterministic key order.
+	var leftover []spanKey
+	for k, stack := range open {
+		for range stack {
+			leftover = append(leftover, k)
+		}
+	}
+	sort.Slice(leftover, func(i, j int) bool {
+		a, b := leftover[i], leftover[j]
+		if a.phase != b.phase {
+			return !a.phase
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.task != b.task {
+			return a.task < b.task
+		}
+		return a.attempt < b.attempt
+	})
+	for _, k := range leftover {
+		scope := "task"
+		if k.phase {
+			scope = "phase"
+		}
+		issues = append(issues, fmt.Sprintf("unclosed %s span: %q n%d task %d attempt %d",
+			scope, k.name, k.node, k.task, k.attempt))
+	}
+	// Spans close in event order; sort by (Start, End, kind, ids) so callers
+	// see a deterministic timeline-ordered view.
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Phase != b.Phase {
+			return !a.Phase
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		return a.Attempt < b.Attempt
+	})
+	return spans, issues
+}
+
+// ValidateSpans checks that a trace's span structure supports a connected
+// critical path: every start has an end, no orphans, no zero-length spans.
+// It returns nil on a clean trace and an error listing every defect
+// otherwise — the assertion the per-engine regression tests run.
+func ValidateSpans(log *trace.Log) error {
+	_, issues := ExtractSpans(log.Events())
+	if len(issues) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("profile: %d span defect(s):", len(issues))
+	for _, is := range issues {
+		msg += "\n  " + is
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -54,10 +54,29 @@ func (l *Log) WriteChrome(w io.Writer) error {
 	for _, ev := range l.events {
 		emit(chromeEvent(ev))
 	}
+
+	// Counter tracks render as "C" events under their own synthetic process
+	// so Perfetto groups them away from the node/task span tracks.
+	if len(l.counters) > 0 {
+		emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + strconv.Itoa(counterPid) +
+			",\"args\":{\"name\":\"counters\"}}")
+		for _, ct := range l.counters {
+			for _, pt := range ct.Points {
+				emit("{\"name\":" + strconv.Quote(ct.Name) +
+					",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":" + formatTS(int64(pt.At)) +
+					",\"pid\":" + strconv.Itoa(counterPid) +
+					",\"args\":{\"value\":" + formatNum(pt.Value) + "}}")
+			}
+		}
+	}
 	b.WriteString("\n]}\n")
 	_, err := io.WriteString(w, b.String())
 	return err
 }
+
+// counterPid is the synthetic process id counter tracks render under —
+// far above any node id so it cannot collide.
+const counterPid = 1 << 20
 
 func chromeEvent(ev Event) string {
 	name := ev.Name

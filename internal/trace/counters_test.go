@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"onepass/internal/sim"
+)
+
+func TestInFlightTrack(t *testing.T) {
+	l := NewLog()
+	// Two overlapping maps; map 1 ends exactly when map 2 starts (handoff).
+	l.Emit(Event{At: 0, Type: TaskStart, Name: "map", Node: 0, Task: 0})
+	l.Emit(Event{At: 1000, Type: TaskStart, Name: "map", Node: 1, Task: 1})
+	l.Emit(Event{At: 2000, Type: TaskFinish, Name: "map", Node: 1, Task: 1})
+	l.Emit(Event{At: 2000, Type: TaskStart, Name: "map", Node: 1, Task: 2})
+	l.Emit(Event{At: 3000, Type: TaskFinish, Name: "map", Node: 0, Task: 0})
+	l.Emit(Event{At: 4000, Type: TaskFinish, Name: "map", Node: 1, Task: 2})
+	// A phase span with the same name must not leak into the task view.
+	l.Emit(Event{At: 0, Type: PhaseStart, Name: "map", Node: 0, Task: 0})
+	l.Emit(Event{At: 500, Type: PhaseEnd, Name: "map", Node: 0, Task: 0})
+
+	tr := l.InFlightTrack("maps-in-flight", "map", false)
+	want := []CounterPoint{
+		{At: 0, Value: 1},
+		{At: 1000, Value: 2},
+		{At: 2000, Value: 2}, // handoff collapses to the final same-instant value
+		{At: 3000, Value: 1},
+		{At: 4000, Value: 0},
+	}
+	if len(tr.Points) != len(want) {
+		t.Fatalf("got %d points, want %d: %+v", len(tr.Points), len(want), tr.Points)
+	}
+	for i, w := range want {
+		if tr.Points[i] != w {
+			t.Errorf("point %d = %+v, want %+v", i, tr.Points[i], w)
+		}
+	}
+}
+
+func TestAddCounterTrackDropsEmpty(t *testing.T) {
+	l := NewLog()
+	l.AddCounterTrack(CounterTrack{Name: "empty"})
+	if len(l.CounterTracks()) != 0 {
+		t.Fatal("empty track retained")
+	}
+	l.AddCounterTrack(CounterTrack{Name: "ok", Points: []CounterPoint{{At: 0, Value: 1}}})
+	if len(l.CounterTracks()) != 1 {
+		t.Fatal("non-empty track dropped")
+	}
+}
+
+func TestWriteChromeCounterEvents(t *testing.T) {
+	l := sampleLog()
+	l.AddCounterTrack(CounterTrack{Name: "cpu-util", Unit: "frac", Points: []CounterPoint{
+		{At: 0, Value: 0.25},
+		{At: sim.Time(2000), Value: 1},
+	}})
+	var buf bytes.Buffer
+	if err := l.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var counters int
+	var sawCounterProc bool
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		pid, _ := ev["pid"].(float64)
+		if ph == "M" && int(pid) == counterPid {
+			sawCounterProc = true
+		}
+		if ph != "C" {
+			continue
+		}
+		counters++
+		if int(pid) != counterPid {
+			t.Errorf("counter event pid = %v, want %d", pid, counterPid)
+		}
+		if name, _ := ev["name"].(string); name != "cpu-util" {
+			t.Errorf("counter name = %q", name)
+		}
+		args, _ := ev["args"].(map[string]interface{})
+		if _, ok := args["value"]; !ok {
+			t.Errorf("counter event missing args.value: %v", ev)
+		}
+	}
+	if counters != 2 {
+		t.Fatalf("got %d C events, want 2", counters)
+	}
+	if !sawCounterProc {
+		t.Fatal("missing counters process_name metadata")
+	}
+
+	// Attaching tracks keeps the export deterministic.
+	var again bytes.Buffer
+	if err := l.WriteChrome(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("repeated export with counters differs")
+	}
+}

@@ -111,9 +111,11 @@ type Sink interface {
 	Emit(ev Event)
 }
 
-// Log is the standard Sink: an in-order event buffer with exporters.
+// Log is the standard Sink: an in-order event buffer with exporters, plus
+// any counter tracks attached after the run (AddCounterTrack).
 type Log struct {
-	events []Event
+	events   []Event
+	counters []CounterTrack
 }
 
 // NewLog returns an empty log.
