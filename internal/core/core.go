@@ -102,19 +102,32 @@ type reducerImpl interface {
 
 // Run executes job on rt with the hash-based engine.
 func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, error) {
-	if err := job.Validate(); err != nil {
+	var res *engine.Result
+	if err := Start(rt, job, opts, func(_ *sim.Proc, r *engine.Result) { res = r }); err != nil {
 		return nil, err
+	}
+	rt.Env.Run()
+	rt.FinishResult(res)
+	return res, nil
+}
+
+// Start launches job on rt without driving the simulation; see hadoop.Start
+// for the contract. The controller invokes done at the job's completion
+// instant, after JobDone and StopSampling.
+func Start(rt *engine.Runtime, job engine.Job, opts Options, done func(p *sim.Proc, res *engine.Result)) error {
+	if err := job.Validate(); err != nil {
+		return err
 	}
 	blocks, err := rt.InputBlocks(job.InputPath)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(blocks) == 0 {
-		return nil, fmt.Errorf("%s: input %q has no blocks (was a chained stage's output discarded?)", "core", job.InputPath)
+		return fmt.Errorf("%s: input %q has no blocks (was a chained stage's output discarded?)", "core", job.InputPath)
 	}
 	opts.defaults()
 	if job.Speculation && !opts.DisablePush {
-		return nil, fmt.Errorf("core: speculative execution requires pull shuffle (DisablePush) — duplicate push attempts would double-deliver chunks")
+		return fmt.Errorf("core: speculative execution requires pull shuffle (DisablePush) — duplicate push attempts would double-deliver chunks")
 	}
 	// The byte-array memory management library (§V) removes most of the
 	// per-record object churn the JVM-based baselines pay; calibrated to
@@ -175,10 +188,9 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 		redsWG.Wait(p)
 		rt.JobDone()
 		rt.StopSampling()
+		done(p, res)
 	})
-	rt.Env.Run()
-	rt.FinishResult(res)
-	return res, nil
+	return nil
 }
 
 // reduceCtx bundles what every reduce-side technique needs.

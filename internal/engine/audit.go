@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"onepass/internal/cluster"
+	"onepass/internal/sim"
 )
 
 // AuditFailure is one violated runtime invariant, with enough node/task
@@ -70,6 +73,14 @@ type Audit struct {
 	completed map[string]int
 	wasted    map[string]int
 
+	// SharedRuntime marks the runtime as one of several multiplexed over a
+	// shared environment (internal/service): Finish then skips the
+	// simulation-wide leak sweep, whose resources, live processes, and
+	// scratch files legitimately belong to concurrently running jobs. The
+	// service runs one CheckSim sweep itself after the whole environment
+	// drains.
+	SharedRuntime bool
+
 	failures []AuditFailure
 }
 
@@ -93,6 +104,16 @@ func NewAudit() *Audit {
 func (a *Audit) fail(invariant, where, detail string) {
 	a.failures = append(a.failures, AuditFailure{Invariant: invariant, Where: where, Detail: detail})
 }
+
+// Fail records an externally-detected invariant violation — the hook the
+// service-level fairness checks (fair admission order, starvation,
+// slot conservation, weighted slot shares) report through, so scheduler
+// violations surface exactly like engine conservation failures.
+func (a *Audit) Fail(invariant, where, detail string) { a.fail(invariant, where, detail) }
+
+// Failures returns the failures accumulated so far without running the
+// end-of-run checks (Finish runs those).
+func (a *Audit) Failures() []AuditFailure { return a.failures }
 
 // recordOnce implements first-wins-with-equality for per-task byte figures:
 // a second attempt at the same task (speculation, re-execution) must
@@ -177,8 +198,8 @@ func (a *Audit) where(k auditChunkKey) string {
 // ledger-only callers (unit tests) may pass nil.
 func (a *Audit) Finish(rt *Runtime) []AuditFailure {
 	a.checkConservation()
-	if rt != nil {
-		a.checkRuntime(rt)
+	if rt != nil && !a.SharedRuntime {
+		a.CheckSim(rt.Env, rt.Cluster)
 	}
 	return a.failures
 }
@@ -272,20 +293,22 @@ func (a *Audit) checkConservation() {
 	}
 }
 
-// checkRuntime sweeps the simulation for leaks once the run is over: every
+// CheckSim sweeps the simulation for leaks once the run is over: every
 // resource idle, every disk queue drained, no live processes, and no data
-// left on surviving nodes' scratch disks.
-func (a *Audit) checkRuntime(rt *Runtime) {
-	for _, r := range rt.Env.Resources() {
+// left on surviving nodes' scratch disks. Finish calls it with the
+// runtime's own environment for single-job runs; the service calls it once
+// over the shared environment after every multiplexed job drains.
+func (a *Audit) CheckSim(env *sim.Env, cl *cluster.Cluster) {
+	for _, r := range env.Resources() {
 		if r.InUse() != 0 || r.Waiting() != 0 {
 			a.fail("resource-leak", r.Name(),
 				fmt.Sprintf("%d units still held, %d still queued after run", r.InUse(), r.Waiting()))
 		}
 	}
-	if n := rt.Env.LiveCount(); n != 0 {
+	if n := env.LiveCount(); n != 0 {
 		a.fail("proc-leak", "simulation", fmt.Sprintf("%d processes still live after run", n))
 	}
-	for _, node := range rt.Cluster.Nodes() {
+	for _, node := range cl.Nodes() {
 		for _, dev := range []struct {
 			label string
 			pend  int

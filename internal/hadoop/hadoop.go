@@ -47,18 +47,35 @@ type Options struct {
 
 // Run executes job on rt with the sort-merge engine.
 func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, error) {
-	if err := job.Validate(); err != nil {
+	var res *engine.Result
+	if err := Start(rt, job, opts, func(_ *sim.Proc, r *engine.Result) { res = r }); err != nil {
 		return nil, err
 	}
+	rt.Env.Run()
+	rt.FinishResult(res)
+	return res, nil
+}
+
+// Start launches job on rt without driving the simulation: it spawns the
+// map/reduce slot processes and the job controller, then returns. The
+// controller invokes done at the virtual instant the job completes (after
+// JobDone and StopSampling); the caller owns running rt.Env and calling
+// rt.FinishResult on the Result done receives. Run wraps Start for the
+// one-job-per-simulation case; internal/service uses Start to multiplex
+// concurrent jobs over one shared environment.
+func Start(rt *engine.Runtime, job engine.Job, opts Options, done func(p *sim.Proc, res *engine.Result)) error {
+	if err := job.Validate(); err != nil {
+		return err
+	}
 	if job.Reduce == nil {
-		return nil, fmt.Errorf("hadoop: job %q has no reduce function", job.Name)
+		return fmt.Errorf("hadoop: job %q has no reduce function", job.Name)
 	}
 	blocks, err := rt.InputBlocks(job.InputPath)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(blocks) == 0 {
-		return nil, fmt.Errorf("%s: input %q has no blocks (was a chained stage's output discarded?)", "hadoop", job.InputPath)
+		return fmt.Errorf("%s: input %q has no blocks (was a chained stage's output discarded?)", "hadoop", job.InputPath)
 	}
 	fanIn := opts.FanIn
 	if fanIn == 0 {
@@ -105,10 +122,9 @@ func Run(rt *engine.Runtime, job engine.Job, opts Options) (*engine.Result, erro
 		redsWG.Wait(p)
 		rt.JobDone()
 		rt.StopSampling()
+		done(p, res)
 	})
-	rt.Env.Run()
-	rt.FinishResult(res)
-	return res, nil
+	return nil
 }
 
 // surviving returns the first compute node that has not failed; recovery

@@ -1,0 +1,99 @@
+// Package loadgen is the YCSB-style open-loop client fleet for
+// internal/service: each tenant gets one submitter process whose arrival
+// process fires independently of job completions (open loop — queueing
+// delay cannot throttle the offered load, which is what exposes the latency
+// knee as the cluster saturates). Arrival generators are seeded and run on
+// virtual time, so a fleet is exactly reproducible: same seeds, same
+// virtual-instant submission schedule, byte-identical service reports.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"onepass/internal/service"
+	"onepass/internal/sim"
+)
+
+// Arrival yields successive inter-arrival gaps on virtual time.
+type Arrival interface {
+	Next() sim.Duration
+}
+
+type constant struct{ gap sim.Duration }
+
+// Constant returns a deterministic arrival process: one job every
+// 1/jobsPerSec seconds.
+func Constant(jobsPerSec float64) Arrival {
+	if !(jobsPerSec > 0) || math.IsInf(jobsPerSec, 0) {
+		panic(fmt.Sprintf("loadgen: arrival rate %g must be positive and finite", jobsPerSec))
+	}
+	return constant{gap: sim.Duration(math.Round(float64(sim.Second) / jobsPerSec))}
+}
+
+func (c constant) Next() sim.Duration { return c.gap }
+
+type poisson struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+// Poisson returns a seeded Poisson arrival process (exponential
+// inter-arrival gaps, rounded to the nanosecond) at jobsPerSec mean rate.
+// Same seed, same gap sequence.
+func Poisson(seed int64, jobsPerSec float64) Arrival {
+	if !(jobsPerSec > 0) || math.IsInf(jobsPerSec, 0) {
+		panic(fmt.Sprintf("loadgen: arrival rate %g must be positive and finite", jobsPerSec))
+	}
+	return &poisson{rng: rand.New(rand.NewSource(seed)), rate: jobsPerSec}
+}
+
+func (p *poisson) Next() sim.Duration {
+	return sim.Duration(math.Round(p.rng.ExpFloat64() / p.rate * float64(sim.Second)))
+}
+
+// TenantLoad describes one tenant's traffic: an arrival process, a total
+// job count, and a mix of job requests cycled round-robin. Each request's
+// Tenant field is overwritten with TenantLoad.Tenant at submission.
+type TenantLoad struct {
+	Tenant  string
+	Arrival Arrival
+	Jobs    int
+	Mix     []service.JobRequest
+}
+
+// Drive spawns one open-loop submitter process per load on the service's
+// environment. Call before svc.Run; Run then sees every submitter through
+// AddSubmitter/SubmitterDone and keeps scheduling until all traffic drains.
+// Rejected submissions (queue-full admission control) are counted per
+// tenant by the service and do not stop the submitter; any other Submit
+// error is a configuration bug and panics.
+func Drive(svc *service.Service, loads []TenantLoad) error {
+	for _, l := range loads {
+		if l.Arrival == nil {
+			return fmt.Errorf("loadgen: tenant %q has no arrival process", l.Tenant)
+		}
+		if len(l.Mix) == 0 {
+			return fmt.Errorf("loadgen: tenant %q has an empty job mix", l.Tenant)
+		}
+		if l.Jobs <= 0 {
+			return fmt.Errorf("loadgen: tenant %q job count %d must be positive", l.Tenant, l.Jobs)
+		}
+		l := l
+		svc.AddSubmitter()
+		svc.Env().Go("loadgen-"+l.Tenant, func(p *sim.Proc) {
+			defer svc.SubmitterDone()
+			for i := 0; i < l.Jobs; i++ {
+				p.Sleep(l.Arrival.Next())
+				req := l.Mix[i%len(l.Mix)]
+				req.Tenant = l.Tenant
+				if err := svc.Submit(p, req); err != nil && !strings.Contains(err.Error(), "queue full") {
+					panic(fmt.Sprintf("loadgen: tenant %s job %d: %v", l.Tenant, i, err))
+				}
+			}
+		})
+	}
+	return nil
+}

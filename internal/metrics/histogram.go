@@ -156,12 +156,13 @@ func (h *Histogram) sortedIndices() []int {
 
 // Quantile returns the value at quantile q in [0,1]: the lowest value of the
 // bucket containing rank ceil(q*count), clamped so Quantile(0) == Min() and
-// Quantile(1) == Max() exactly.
+// Quantile(1) == Max() exactly. A NaN q reports Min — NaN fails both clamp
+// comparisons, and int64(math.Ceil(NaN * count)) is platform-undefined.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
-	if q <= 0 {
+	if q <= 0 || math.IsNaN(q) {
 		return h.min
 	}
 	if q >= 1 {

@@ -195,6 +195,31 @@ func TestHistogramBucketScheme(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileNaN pins the NaN guard: NaN fails both clamp
+// comparisons (q <= 0 and q >= 1 are false), and without the explicit check
+// the rank computation hits int64(math.Ceil(NaN*count)), whose result is
+// platform-undefined. NaN q must deterministically report Min.
+func TestHistogramQuantileNaN(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{3, 17, 290, 4096} {
+		h.Record(v)
+	}
+	if got := h.Quantile(math.NaN()); got != h.Min() {
+		t.Errorf("Quantile(NaN) = %d, want Min() = %d", got, h.Min())
+	}
+	empty := NewHistogram()
+	if got := empty.Quantile(math.NaN()); got != 0 {
+		t.Errorf("empty Quantile(NaN) = %d, want 0", got)
+	}
+	// Infinities were already handled by the clamps; pin that too.
+	if got := h.Quantile(math.Inf(1)); got != h.Max() {
+		t.Errorf("Quantile(+Inf) = %d, want Max() = %d", got, h.Max())
+	}
+	if got := h.Quantile(math.Inf(-1)); got != h.Min() {
+		t.Errorf("Quantile(-Inf) = %d, want Min() = %d", got, h.Min())
+	}
+}
+
 // TestHistogramEmpty pins zero-value-ish behaviour.
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram()

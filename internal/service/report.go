@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"onepass/internal/engine"
+	"onepass/internal/metrics"
+	"onepass/internal/sim"
+)
+
+// TenantReport is one tenant's end-of-run accounting.
+type TenantReport struct {
+	Name     string
+	Weight   float64
+	Priority int `json:",omitempty"`
+
+	Jobs     int // completed jobs
+	Rejected int `json:",omitempty"` // submissions refused by MaxQueued
+
+	// SlotSeconds is slot-units x seconds held; NormService divides by
+	// weight — equal values across backlogged tenants is what "fair" means
+	// here.
+	SlotSeconds float64
+	NormService float64
+
+	// All three in virtual nanoseconds: submit->launch, submit->finish,
+	// launch->finish.
+	QueueWait *metrics.Histogram
+	Latency   *metrics.Histogram
+	Exec      *metrics.Histogram
+}
+
+// PairReport is the joint-backlog accounting for one same-priority tenant
+// pair: over the windows where both tenants had queued demand, the
+// slot-seconds each accrued divided by its weight. Fairness means NormA and
+// NormB agree (the slot-share invariant enforces it within tolerance);
+// total slot-seconds over a whole run do NOT show this — identical
+// submitted work equalizes them regardless of weights.
+type PairReport struct {
+	A, B         string
+	JointSeconds float64
+	NormA, NormB float64
+}
+
+// Report is the deterministic end-of-run summary: same config and seed,
+// byte-identical Render and JSON.
+type Report struct {
+	Makespan sim.Duration
+	Jobs     int
+	Tenants  []TenantReport        // sorted by name
+	Pairs    []PairReport          `json:",omitempty"` // sorted by (A, B)
+	Failures []engine.AuditFailure `json:",omitempty"`
+}
+
+func (s *Service) report() *Report {
+	rep := &Report{Makespan: sim.Duration(s.env.Now())}
+	for _, t := range s.tenants {
+		rep.Jobs += t.jobs
+		rep.Tenants = append(rep.Tenants, TenantReport{
+			Name:        t.cfg.Name,
+			Weight:      t.weight,
+			Priority:    t.cfg.Priority,
+			Jobs:        t.jobs,
+			Rejected:    t.rejected,
+			SlotSeconds: t.slotSeconds,
+			NormService: t.normService(),
+			QueueWait:   t.queueWait,
+			Latency:     t.latency,
+			Exec:        t.exec,
+		})
+	}
+	for i := 0; i < len(s.tenants); i++ {
+		for k := i + 1; k < len(s.tenants); k++ {
+			ps, ok := s.pairs[[2]int{i, k}]
+			if !ok || !ps.everBacklog {
+				continue
+			}
+			a, b := s.tenants[i], s.tenants[k]
+			rep.Pairs = append(rep.Pairs, PairReport{
+				A: a.cfg.Name, B: b.cfg.Name,
+				JointSeconds: ps.jointTime.Seconds(),
+				NormA:        ps.srvA / a.weight,
+				NormB:        ps.srvB / b.weight,
+			})
+		}
+	}
+	if s.audit != nil {
+		rep.Failures = append(rep.Failures, s.audit.Failures()...)
+	}
+	rep.Failures = append(rep.Failures, s.jobFails...)
+	sort.SliceStable(rep.Failures, func(i, j int) bool {
+		a, b := rep.Failures[i], rep.Failures[j]
+		if a.Invariant != b.Invariant {
+			return a.Invariant < b.Invariant
+		}
+		return a.Where < b.Where
+	})
+	return rep
+}
+
+// JSON renders the report deterministically.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render formats the report as a fixed-width text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service run: %d jobs over %d tenants, makespan %s\n\n",
+		r.Jobs, len(r.Tenants), r.Makespan)
+	fmt.Fprintf(&b, "%-12s %6s %4s %5s %4s %12s | %-28s | %-28s\n",
+		"tenant", "weight", "prio", "jobs", "rej", "slot-sec", "queue-wait p50/p95/p99", "latency p50/p95/p99")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "%-12s %6.2f %4d %5d %4d %12.2f | %-28s | %-28s\n",
+			t.Name, t.Weight, t.Priority, t.Jobs, t.Rejected, t.SlotSeconds,
+			quantiles(t.QueueWait), quantiles(t.Latency))
+	}
+	if len(r.Pairs) > 0 {
+		b.WriteString("\njoint-backlog fair-share (slot-seconds per unit weight):\n")
+		for _, p := range r.Pairs {
+			fmt.Fprintf(&b, "  %s vs %s: %.2f vs %.2f over %.2fs joint backlog\n",
+				p.A, p.B, p.NormA, p.NormB, p.JointSeconds)
+		}
+	}
+	if len(r.Failures) > 0 {
+		fmt.Fprintf(&b, "\nINVARIANT FAILURES (%d):\n%s", len(r.Failures),
+			engine.FormatAuditFailures(r.Failures))
+	}
+	return b.String()
+}
+
+func quantiles(h *metrics.Histogram) string {
+	if h == nil || h.Count() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f/%.2f/%.2f s",
+		sim.Duration(h.P50()).Seconds(),
+		sim.Duration(h.P95()).Seconds(),
+		sim.Duration(h.P99()).Seconds())
+}

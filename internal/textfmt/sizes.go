@@ -2,14 +2,18 @@ package textfmt
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
 
 // ParseSize parses a human byte size with an optional binary suffix
 // ("64MB", "1GB", "512KB", "4096"). The shared helper behind every CLI's
-// size flags.
+// size flags. Sizes must be positive and fit in int64 after applying the
+// suffix multiplier: "0", "-64MB", and "99999999999GB" are all errors, not
+// silently zero, negative, or wrapped-around byte counts.
 func ParseSize(s string) (int64, error) {
+	orig := s
 	mult := int64(1)
 	switch {
 	case strings.HasSuffix(s, "GB"):
@@ -22,6 +26,12 @@ func ParseSize(s string) (int64, error) {
 	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("textfmt: bad size %q: %w", s, err)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("textfmt: size %q must be positive", orig)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("textfmt: size %q overflows int64", orig)
 	}
 	return n * mult, nil
 }

@@ -7,7 +7,6 @@ func TestParseSize(t *testing.T) {
 		in   string
 		want int64
 	}{
-		{"0", 0},
 		{"4096", 4096},
 		{"512KB", 512 << 10},
 		{"64MB", 64 << 20},
@@ -32,5 +31,30 @@ func TestParseSizeMalformed(t *testing.T) {
 		if n, err := ParseSize(in); err == nil {
 			t.Errorf("ParseSize(%q) = %d, want error", in, n)
 		}
+	}
+}
+
+func TestParseSizeRejectsNonPositive(t *testing.T) {
+	for _, in := range []string{"0", "0MB", "-1", "-64MB", "-999GB"} {
+		if n, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want error (non-positive size)", in, n)
+		}
+	}
+}
+
+func TestParseSizeRejectsOverflow(t *testing.T) {
+	// 99999999999 * 2^30 wraps int64; the old code returned a large negative
+	// size here.
+	for _, in := range []string{"99999999999GB", "9223372036854775807MB", "10000000000000000KB"} {
+		if n, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want overflow error", in, n)
+		}
+	}
+	// The largest representable sizes still parse.
+	if n, err := ParseSize("8589934591GB"); err != nil || n != (int64(8589934591)<<30) {
+		t.Errorf("ParseSize(8589934591GB) = %d, %v; want max in-range value", n, err)
+	}
+	if n, err := ParseSize("9223372036854775807"); err != nil || n != int64(9223372036854775807) {
+		t.Errorf("ParseSize(max int64) = %d, %v", n, err)
 	}
 }
