@@ -2,6 +2,7 @@ package onepass
 
 import (
 	"fmt"
+	"strings"
 
 	"onepass/internal/cluster"
 	"onepass/internal/core"
@@ -12,8 +13,10 @@ import (
 	"onepass/internal/gen"
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
+	"onepass/internal/kv"
 	"onepass/internal/metrics"
 	"onepass/internal/profile"
+	"onepass/internal/resident"
 	"onepass/internal/sim"
 	"onepass/internal/trace"
 	"onepass/internal/workloads"
@@ -34,29 +37,70 @@ const (
 	HashIncremental
 	// HashHotKey adds the frequent-items sketch for hot-key pinning.
 	HashHotKey
+	// Resident is the M3R-style in-memory engine: push-only shuffle into
+	// resident fold tables, reduce output published as memory-resident DFS
+	// files so chained jobs iterate without disk I/O.
+	Resident
 )
+
+// engineRegistry is the single source of truth for the engine set: String,
+// Engines, ParseEngine, and EngineNames all derive from it, and the CLIs and
+// the job service validate against it — adding an engine is one entry here
+// plus a dispatch case.
+var engineRegistry = []struct {
+	engine Engine
+	name   string
+}{
+	{Hadoop, "hadoop"},
+	{MapReduceOnline, "mapreduce-online"},
+	{HashHybrid, "hash-hybrid"},
+	{HashIncremental, "hash-incremental"},
+	{HashHotKey, "hash-hotkey"},
+	{Resident, "resident"},
+}
 
 // String implements fmt.Stringer.
 func (e Engine) String() string {
-	switch e {
-	case Hadoop:
-		return "hadoop"
-	case MapReduceOnline:
-		return "mapreduce-online"
-	case HashHybrid:
-		return "hash-hybrid"
-	case HashIncremental:
-		return "hash-incremental"
-	case HashHotKey:
-		return "hash-hotkey"
-	default:
-		return fmt.Sprintf("engine(%d)", int(e))
+	for _, r := range engineRegistry {
+		if r.engine == e {
+			return r.name
+		}
 	}
+	return fmt.Sprintf("engine(%d)", int(e))
 }
 
 // Engines lists every engine, for sweeps.
 func Engines() []Engine {
-	return []Engine{Hadoop, MapReduceOnline, HashHybrid, HashIncremental, HashHotKey}
+	out := make([]Engine, len(engineRegistry))
+	for i, r := range engineRegistry {
+		out[i] = r.engine
+	}
+	return out
+}
+
+// EngineNames lists every engine's String name, in registry order — the
+// canonical spelling for CLI flags and usage text.
+func EngineNames() []string {
+	out := make([]string, len(engineRegistry))
+	for i, r := range engineRegistry {
+		out[i] = r.name
+	}
+	return out
+}
+
+// ParseEngine resolves an engine by its String name. "hop" is accepted as
+// the historical CLI alias for mapreduce-online.
+func ParseEngine(name string) (Engine, error) {
+	if name == "hop" {
+		return MapReduceOnline, nil
+	}
+	for _, r := range engineRegistry {
+		if r.name == name {
+			return r.engine, nil
+		}
+	}
+	return 0, fmt.Errorf("onepass: unknown engine %q (valid: %s)",
+		name, strings.Join(EngineNames(), ", "))
 }
 
 // Re-exported job-building types: jobs and results are shared across all
@@ -72,6 +116,9 @@ type (
 	Emit = engine.Emit
 	// Aggregator is the incremental per-key state contract.
 	Aggregator = engine.Aggregator
+	// Monoid is the declarative aggregation contract (identity + associative
+	// combine); jobs that declare one gain in-node combining on every engine.
+	Monoid = kv.Monoid
 	// Workload couples a job template with an input generator.
 	Workload = workloads.Workload
 	// ClickConfig parameterizes the synthetic click log.
@@ -200,6 +247,11 @@ type Config struct {
 	DisableSnapshots bool
 	// DisablePush switches the hash engine to pull-only shuffle.
 	DisablePush bool
+	// DisableMonoid strips the job's declared monoid before dispatch: every
+	// engine falls back to its monoid-free path (no derived combiner, no
+	// state merging), which must produce byte-identical grouped output —
+	// the equivalence axis cmd/check sweeps.
+	DisableMonoid bool
 
 	// RetainOutput keeps output pairs on the Result; DiscardOutput drops
 	// payloads entirely (sink mode for large benchmark runs).
@@ -340,6 +392,11 @@ func dispatch(cfg Config, rt *engine.Runtime, job Job) (*Result, error) {
 	if err := cfg.Faults.Validate(len(rt.Cluster.Nodes())); err != nil {
 		return nil, fmt.Errorf("onepass: %w", err)
 	}
+	if cfg.DisableMonoid {
+		// Strip before any engine sees the job: task clones preserve a nil
+		// optional function, so the whole run is monoid-free.
+		job.Monoid = nil
+	}
 	var res *Result
 	var err error
 	switch cfg.Engine {
@@ -367,6 +424,11 @@ func dispatch(cfg Config, rt *engine.Runtime, job Job) (*Result, error) {
 			HotKeyCounters:   cfg.HotKeyCounters,
 			ApproximateEarly: cfg.ApproximateEarly,
 			Faults:           cfg.Faults,
+		})
+	case Resident:
+		res, err = resident.Run(rt, job, resident.Options{
+			ChunkBytes: cfg.ChunkBytes,
+			Faults:     cfg.Faults,
 		})
 	default:
 		return nil, fmt.Errorf("onepass: unknown engine %v", cfg.Engine)

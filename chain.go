@@ -106,3 +106,10 @@ func (c *Cluster) RunJob(job Job) (*Result, error) {
 // Now returns the cluster's current virtual time in seconds (advances
 // across chained jobs).
 func (c *Cluster) Now() float64 { return c.env.Now().Seconds() }
+
+// DiskBytesRead returns cumulative bytes read from every simulated disk
+// (DFS and scratch devices, all nodes) since the cluster was built. Deltas
+// across RunJob calls attribute disk traffic per stage — the observable
+// that separates the resident engine's in-memory hand-off from the disk
+// engines' DFS round-trip in chained pipelines.
+func (c *Cluster) DiskBytesRead() float64 { return c.cl.DiskBytesRead() }

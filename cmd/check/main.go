@@ -1,7 +1,8 @@
 // Command check runs the cross-engine differential checker: fuzzed
-// (workload, config, faults) tuples across all five engines with invariant
-// audits armed, asserting identical output, reference agreement, fault
-// convergence, and chained-pipeline trace/fault propagation.
+// (workload, config, faults) tuples across every registered engine with
+// invariant audits armed, asserting identical output, reference agreement,
+// monoid-on/off equivalence, fault convergence, and chained-pipeline
+// trace/fault propagation.
 //
 // Usage:
 //

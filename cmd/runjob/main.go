@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"onepass"
@@ -24,7 +25,7 @@ func main() {
 	workload := flag.String("workload", "sessionization",
 		"sessionization | page-frequency | per-user-count | inverted-index")
 	engineName := flag.String("engine", "hadoop",
-		"hadoop | hop | hash-hybrid | hash-incremental | hash-hotkey")
+		strings.Join(onepass.EngineNames(), " | "))
 	size := flag.String("size", "32MB", "input size (e.g. 64MB, 1GB)")
 	nodes := flag.Int("nodes", 10, "cluster nodes")
 	reducers := flag.Int("reducers", 20, "reduce tasks")
@@ -75,19 +76,8 @@ func main() {
 		cfg.Trace = tl
 	}
 
-	switch *engineName {
-	case "hadoop":
-		cfg.Engine = onepass.Hadoop
-	case "hop":
-		cfg.Engine = onepass.MapReduceOnline
-	case "hash-hybrid":
-		cfg.Engine = onepass.HashHybrid
-	case "hash-incremental":
-		cfg.Engine = onepass.HashIncremental
-	case "hash-hotkey":
-		cfg.Engine = onepass.HashHotKey
-	default:
-		log.Fatalf("unknown engine %q", *engineName)
+	if cfg.Engine, err = onepass.ParseEngine(*engineName); err != nil {
+		log.Fatalf("bad -engine: %v", err)
 	}
 
 	var w *onepass.Workload

@@ -100,11 +100,9 @@ func ExampleJob_emitWhen() {
 	clicks.URLs = 100
 	w := onepass.PerUserCount(clicks)
 	job := w.Job
+	// The counting workloads' monoid state is the ASCII decimal count.
 	job.EmitWhen = func(key, state []byte) bool {
-		var n uint64
-		for i := 7; i >= 0; i-- {
-			n = n<<8 | uint64(state[i])
-		}
+		n, _ := strconv.ParseUint(string(state), 10, 64)
 		return n >= 100
 	}
 	res, err := onepass.Run(cfg, onepass.Dataset{Path: "in", Size: 256 << 10, Gen: w.Gen}, job)

@@ -1,11 +1,13 @@
 // Package check is the cross-engine differential checker: a seeded config
 // fuzzer feeds (workload, configuration, fault schedule) tuples to every
-// engine and asserts that all five produce identical grouped output, that
-// the output matches the single-threaded in-memory reference, that faulted
-// runs converge to the clean answer, and that chained multi-stage pipelines
-// carry traces and faults into every stage. All runs execute with the
-// runtime invariant audits armed, so any conservation or leak violation at
-// a fuzzed configuration also fails the check.
+// registered engine and asserts that all of them produce identical grouped
+// output, that the output matches the single-threaded in-memory reference,
+// that faulted runs converge to the clean answer, that monoid workloads
+// produce the same answer with the monoid stripped (the monoid-off
+// equivalence axis), and that chained multi-stage pipelines carry traces
+// and faults into every stage. All runs execute with the runtime invariant
+// audits armed, so any conservation or leak violation at a fuzzed
+// configuration also fails the check.
 package check
 
 import (
@@ -37,7 +39,7 @@ type Options struct {
 type Failure struct {
 	Seed   int64
 	Engine string
-	Stage  string // "clean", "reference", "faulted", "chained", "chained-faulted"
+	Stage  string // "clean", "reference", "monoid-off", "faulted", "chained", "chained-faulted"
 	Detail string
 	Tuple  string
 }
@@ -80,13 +82,16 @@ func Run(opts Options) *Report {
 	return rep
 }
 
-// CheckSeed runs every check for one fuzzed tuple: the clean five-engine
-// differential with reference agreement always; on even seeds a per-engine
-// chaos-faulted rerun (single stage, so node failures are survivable — the
-// input is regenerable); on odd seeds a chained two-stage pipeline, clean
-// and under a degradation-only schedule (stage-1 output is written data a
-// node failure could strand, so chained runs degrade rather than kill).
-// parallelism sets each run's intra-run worker pool width (0 = serial).
+// CheckSeed runs every check for one fuzzed tuple: the clean all-engine
+// differential with reference agreement always; for monoid workloads a
+// per-engine monoid-off rerun that must reproduce the clean checksum
+// byte-for-byte (the combining layer is an optimization, never an answer
+// change); on even seeds a per-engine chaos-faulted rerun (single stage, so
+// node failures are survivable — the input is regenerable); on odd seeds a
+// chained two-stage pipeline, clean and under a degradation-only schedule
+// (stage-1 output is written data a node failure could strand, so chained
+// runs degrade rather than kill). parallelism sets each run's intra-run
+// worker pool width (0 = serial).
 func CheckSeed(seed int64, parallelism int) (runs int, fails []Failure) {
 	t := FuzzTuple(seed)
 	t.Cfg.Parallelism = parallelism
@@ -119,6 +124,31 @@ func CheckSeed(seed int64, parallelism int) (runs int, fails []Failure) {
 			wantSum, wantEngine = res.OutputChecksum, e.String()
 		} else if res.OutputChecksum != wantSum {
 			add(e.String(), "clean", "checksum %016x != %s's %016x", res.OutputChecksum, wantEngine, wantSum)
+		}
+	}
+
+	if t.Workload.Job.Monoid != nil {
+		for _, e := range onepass.Engines() {
+			base := clean[e]
+			if base == nil {
+				continue
+			}
+			cfg := t.Cfg
+			cfg.Engine = e
+			cfg.DisableMonoid = true
+			res, err := onepass.RunWorkload(cfg, t.Workload, t.Input)
+			runs++
+			if err != nil {
+				add(e.String(), "monoid-off", "%v", err)
+				continue
+			}
+			if res.OutputChecksum != base.OutputChecksum {
+				add(e.String(), "monoid-off", "checksum %016x != monoid-on %016x: combining changed the answer",
+					res.OutputChecksum, base.OutputChecksum)
+			}
+			if diff := diffOutput(res.Output, ref); diff != "" {
+				add(e.String(), "monoid-off", "output disagrees with reference: %s", diff)
+			}
 		}
 	}
 

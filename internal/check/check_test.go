@@ -25,8 +25,9 @@ func TestFuzzTupleDeterministic(t *testing.T) {
 }
 
 // TestCheckSeeds runs one odd (chained) and one even (chaos-faulted) seed
-// end to end: all five engines, audits armed, no failures — serial, then
-// with the intra-run worker pool on (the pool must not perturb any run).
+// end to end: every registered engine, audits armed, no failures — serial,
+// then with the intra-run worker pool on (the pool must not perturb any
+// run).
 func TestCheckSeeds(t *testing.T) {
 	for _, parallelism := range []int{0, 4} {
 		for _, seed := range []int64{1, 2} {

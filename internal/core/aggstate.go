@@ -72,6 +72,9 @@ func jobAggregator(job *engine.Job) (agg engine.Aggregator, mapCombined bool) {
 	if job.Agg != nil {
 		return job.Agg, true
 	}
+	if job.Monoid != nil {
+		return engine.MonoidAgg{M: job.Monoid}, true
+	}
 	return listAgg{reduce: job.Reduce}, false
 }
 

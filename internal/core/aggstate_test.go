@@ -61,13 +61,26 @@ func TestFrameIterProperty(t *testing.T) {
 }
 
 func TestJobAggregatorSelection(t *testing.T) {
-	withAgg := workloads.PerUserCount(smallClicks()).Job
-	agg, combined := jobAggregator(&withAgg)
+	withMonoid := workloads.PerUserCount(smallClicks()).Job
+	agg, combined := jobAggregator(&withMonoid)
 	if !combined {
 		t.Fatal("counting workload should map-combine")
 	}
-	if _, ok := agg.(workloads.CountAgg); !ok {
+	ma, ok := agg.(engine.MonoidAgg)
+	if !ok {
 		t.Fatalf("agg = %T", agg)
+	}
+	if _, ok := ma.M.(workloads.CountMonoid); !ok {
+		t.Fatalf("monoid = %T", ma.M)
+	}
+	withAgg := withMonoid
+	withAgg.Monoid, withAgg.Agg = nil, workloads.CountAgg{}
+	aggExp, combinedExp := jobAggregator(&withAgg)
+	if !combinedExp {
+		t.Fatal("explicit aggregator should map-combine")
+	}
+	if _, ok := aggExp.(workloads.CountAgg); !ok {
+		t.Fatalf("agg = %T", aggExp)
 	}
 	noAgg := workloads.Sessionization(smallClicks()).Job
 	agg2, combined2 := jobAggregator(&noAgg)

@@ -36,7 +36,7 @@ func TestSpillSetRoundTripThroughBuckets(t *testing.T) {
 	env, rc := newTestReduceCtx(t, 1<<20, 4)
 	env.Go("t", func(p *sim.Proc) {
 		ss := newSpillSet(rc, 0, "t")
-		agg := workloads.CountAgg{}
+		agg := engine.MonoidAgg{M: workloads.CountMonoid{}}
 		want := map[string]uint64{}
 		for i := 0; i < 300; i++ {
 			key := []byte(fmt.Sprintf("k%03d", i%50))
@@ -71,7 +71,7 @@ func TestSpillSetExtraEntriesMergeWithFile(t *testing.T) {
 	env, rc := newTestReduceCtx(t, 1<<20, 2)
 	env.Go("t", func(p *sim.Proc) {
 		ss := newSpillSet(rc, 0, "t")
-		agg := workloads.CountAgg{}
+		agg := engine.MonoidAgg{M: workloads.CountMonoid{}}
 		key := []byte("shared")
 		b := ss.bucketOf(key)
 		ss.add(p, b, key, agg.Init([]byte("7")), formIncoming)
@@ -91,7 +91,7 @@ func TestSpillSetRecursionOnOversizedBucket(t *testing.T) {
 	env, rc := newTestReduceCtx(t, 600, 2)
 	env.Go("t", func(p *sim.Proc) {
 		ss := newSpillSet(rc, 0, "t")
-		agg := workloads.CountAgg{}
+		agg := engine.MonoidAgg{M: workloads.CountMonoid{}}
 		want := map[string]uint64{}
 		for i := 0; i < 200; i++ {
 			key := []byte(fmt.Sprintf("key-%04d", i))
@@ -149,7 +149,7 @@ func TestSpillSetDeletesFilesAfterProcessing(t *testing.T) {
 	env, rc := newTestReduceCtx(t, 1<<20, 2)
 	env.Go("t", func(p *sim.Proc) {
 		ss := newSpillSet(rc, 0, "t")
-		agg := workloads.CountAgg{}
+		agg := engine.MonoidAgg{M: workloads.CountMonoid{}}
 		for i := 0; i < 100; i++ {
 			key := []byte(fmt.Sprintf("k%d", i))
 			ss.add(p, ss.bucketOf(key), key, agg.Init([]byte("1")), formIncoming)

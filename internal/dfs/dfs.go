@@ -35,7 +35,14 @@ type Block struct {
 	// failure injection.
 	replicas []int
 	gen      func() []byte
+	// mem marks a memory-resident block (see RegisterResident): reads are
+	// served from the hosting node's memory and charge no disk I/O, only
+	// the network transfer when the reader is remote.
+	mem bool
 }
+
+// Resident reports whether the block is memory-resident.
+func (b *Block) Resident() bool { return b.mem }
 
 // Replicas returns the IDs of nodes currently holding the block.
 func (b *Block) Replicas() []int { return b.replicas }
@@ -211,9 +218,27 @@ func (d *DFS) ReadBlock(p *sim.Proc, b *Block, readerNode int) ([]byte, error) {
 			break
 		}
 	}
-	d.cluster.Node(src).DFSDevice().Read(p, b.Size, true)
+	if !b.mem {
+		d.cluster.Node(src).DFSDevice().Read(p, b.Size, true)
+	}
 	d.cluster.Net.Transfer(p, src, readerNode, b.Size)
 	return b.gen(), nil
+}
+
+// RegisterResident publishes data as a memory-resident single-block file
+// hosted on node — the resident engine's in-memory hand-off between the
+// jobs of a chain. The file lives in the same namespace as disk-backed
+// files, so any engine (or the reference checker) can read it; reads charge
+// no disk I/O, which is exactly the M3R saving the chained-iteration
+// experiments measure. The caller must not mutate data afterwards.
+func (d *DFS) RegisterResident(path string, node int, data []byte) error {
+	if _, ok := d.files[path]; ok {
+		return fmt.Errorf("dfs: file %q already exists", path)
+	}
+	b := &Block{Path: path, Index: 0, Size: int64(len(data)), replicas: []int{node}, mem: true}
+	b.gen = func() []byte { return data }
+	d.files[path] = &fileMeta{path: path, size: int64(len(data)), blocks: []*Block{b}}
+	return nil
 }
 
 // KillReplica removes node's replica of block idx of path, simulating a

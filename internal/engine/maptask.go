@@ -91,12 +91,14 @@ func (rt *Runtime) ExecuteMapWith(p *sim.Proc, node *cluster.Node, job *Job, b *
 	return buf, nil
 }
 
-// CombineSorted applies the job's combiner to each (partition, key) group
-// of an already-sorted buffer and returns the combined buffer plus the
-// number of input values consumed (for CPU charging). Without a combiner it
-// returns the input unchanged.
+// CombineSorted applies the job's effective combiner (explicit Combine or
+// one derived from a declared Monoid) to each (partition, key) group of an
+// already-sorted buffer and returns the combined buffer plus the number of
+// input values consumed (for CPU charging). Without a combiner it returns
+// the input unchanged.
 func CombineSorted(job *Job, buf *kv.Buffer) (*kv.Buffer, int) {
-	if job.Combine == nil || buf.Len() == 0 {
+	combine := job.EffectiveCombine()
+	if combine == nil || buf.Len() == 0 {
 		return buf, 0
 	}
 	out := kv.NewBuffer(int(buf.Bytes()))
@@ -115,7 +117,7 @@ func CombineSorted(job *Job, buf *kv.Buffer) (*kv.Buffer, int) {
 			vals = append(vals, buf.Val(k))
 		}
 		inputs += len(vals)
-		job.Combine(key, vals, func(k, v []byte) { out.Add(p, k, v) })
+		combine(key, vals, func(k, v []byte) { out.Add(p, k, v) })
 		i = j
 	}
 	return out, inputs

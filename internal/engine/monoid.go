@@ -1,0 +1,44 @@
+package engine
+
+import "onepass/internal/kv"
+
+// MonoidAgg adapts a kv.Monoid to the Aggregator contract: the per-key
+// state IS the monoid element, initialised from the identity and folded
+// with Combine. Because Combine is associative, map-side partial states
+// and reduce-side merges compose without a separate Merge law — the same
+// property "Monoidify!" (Lin, 2013) exploits to make combiners free.
+type MonoidAgg struct {
+	M kv.Monoid
+}
+
+// Init starts a key's state from the identity folded with its first value.
+func (a MonoidAgg) Init(val []byte) []byte {
+	state := append([]byte(nil), a.M.Identity()...)
+	return a.M.Combine(state, val)
+}
+
+// Update folds one more value into state.
+func (a MonoidAgg) Update(state, val []byte) []byte { return a.M.Combine(state, val) }
+
+// Merge combines two partial states; states and values share one space.
+func (a MonoidAgg) Merge(x, y []byte) []byte { return a.M.Combine(x, y) }
+
+// Final emits the state unchanged: a monoid's running element is already
+// the answer encoding.
+func (a MonoidAgg) Final(key, state []byte, emit Emit) { emit(key, state) }
+
+// MonoidCombiner derives a CombineFunc from a monoid: fold the group's
+// values left-to-right starting from the identity and emit the single
+// combined element. The scratch buffer is reused across groups, so each
+// derived combiner must be owned by exactly one task attempt (TaskJob
+// re-derives it from the cloned job's Monoid).
+func MonoidCombiner(m kv.Monoid) CombineFunc {
+	var out []byte
+	return func(key []byte, vals [][]byte, emit Emit) {
+		out = append(out[:0], m.Identity()...)
+		for _, v := range vals {
+			out = m.Combine(out, v)
+		}
+		emit(key, out)
+	}
+}

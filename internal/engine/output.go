@@ -16,6 +16,14 @@ type OutputCollector struct {
 	job     *Job
 	res     *Result
 	writers map[int]*dfsWriterRef
+
+	// NewSink, when set, replaces the DFS writer for each partition: the
+	// returned append function receives every flushed write-behind buffer.
+	// The resident engine uses it to land reduce output in memory (then
+	// publishes it via dfs.RegisterResident) while keeping the checksum,
+	// serialize charges, retained output, and counters identical to the
+	// disk path.
+	NewSink func(r, nodeID int) func(p *sim.Proc, data []byte)
 }
 
 type dfsWriterRef struct {
@@ -40,12 +48,16 @@ func (rt *Runtime) NewOutputCollector(job *Job, res *Result) *OutputCollector {
 func (oc *OutputCollector) Emit(p *sim.Proc, r int, nodeID int, key, val []byte) {
 	w := oc.writers[r]
 	if w == nil {
-		path := fmt.Sprintf("%s/part-r-%05d", oc.job.OutputPath, r)
-		dw, err := oc.rt.DFS.CreateWriter(path, nodeID, oc.job.DiscardOutput)
-		if err != nil {
-			panic(fmt.Sprintf("engine: creating output %s: %v", path, err))
+		if oc.NewSink != nil {
+			w = &dfsWriterRef{append: oc.NewSink(r, nodeID)}
+		} else {
+			path := fmt.Sprintf("%s/part-r-%05d", oc.job.OutputPath, r)
+			dw, err := oc.rt.DFS.CreateWriter(path, nodeID, oc.job.DiscardOutput)
+			if err != nil {
+				panic(fmt.Sprintf("engine: creating output %s: %v", path, err))
+			}
+			w = &dfsWriterRef{append: dw.Append}
 		}
-		w = &dfsWriterRef{append: dw.Append}
 		oc.writers[r] = w
 	}
 	// Consume key and val completely before the first blocking call: callers

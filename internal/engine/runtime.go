@@ -153,9 +153,19 @@ func (rt *Runtime) TaskJob(job *Job) *Job {
 	clone := *job
 	clone.Reader = fresh.Reader
 	clone.Map = fresh.Map
-	clone.Combine = fresh.Combine
 	clone.Reduce = fresh.Reduce
-	clone.Agg = fresh.Agg
+	// The optional functions track the job's current declaration, not
+	// Fresh's: a runner that stripped one (Config.DisableMonoid, a
+	// combiner-off A/B run) must see it stay stripped on every task clone.
+	if job.Combine != nil {
+		clone.Combine = fresh.Combine
+	}
+	if job.Agg != nil {
+		clone.Agg = fresh.Agg
+	}
+	if job.Monoid != nil {
+		clone.Monoid = fresh.Monoid
+	}
 	return &clone
 }
 

@@ -9,6 +9,7 @@ package engine
 import (
 	"fmt"
 
+	"onepass/internal/kv"
 	"onepass/internal/sim"
 )
 
@@ -58,6 +59,15 @@ type Job struct {
 	// when nil the hash engines fall back to value-list states.
 	Agg Aggregator
 
+	// Monoid declares the reduce as a typed commutative aggregate over the
+	// map-output value space (see kv.Monoid): every engine then combines
+	// in-node before shuffle (EffectiveCombine) and the hash and resident
+	// engines fold partial states associatively (MonoidAgg). Reduce must
+	// still be set — it is the law the monoid is checked against and the
+	// fallback when Config.DisableMonoid strips this field. Mutually
+	// exclusive with explicit Combine/Agg.
+	Monoid kv.Monoid
+
 	// BinaryInput marks the input as the pre-parsed binary format, charged
 	// at the cheap parse rate (§III.B.1's SequenceFile experiment).
 	BinaryInput bool
@@ -103,7 +113,7 @@ type Job struct {
 	Speculation bool
 
 	// Fresh, when set, returns an independently-constructed copy of this job
-	// whose user functions (Reader, Map, Combine, Reduce, Agg) share no
+	// whose user functions (Reader, Map, Combine, Reduce, Agg, Monoid) share no
 	// scratch state with any other copy. Parallel intra-run execution uses it
 	// to give every concurrently-running task its own function instances;
 	// without it, tasks whose user functions might keep scratch buffers run
@@ -125,11 +135,35 @@ func (j *Job) Validate() error {
 		return fmt.Errorf("engine: job %q needs a map function", j.Name)
 	case j.Reduce == nil && j.Agg == nil:
 		return fmt.Errorf("engine: job %q needs a reduce function or aggregator", j.Name)
+	case j.Monoid != nil && j.Reduce == nil:
+		return fmt.Errorf("engine: job %q declares a monoid without the reduce it abbreviates", j.Name)
+	case j.Monoid != nil && (j.Combine != nil || j.Agg != nil):
+		return fmt.Errorf("engine: job %q mixes a monoid with an explicit combiner/aggregator", j.Name)
 	case j.Reducers <= 0:
 		return fmt.Errorf("engine: job %q needs a positive reducer count", j.Name)
 	}
 	return nil
 }
+
+// EffectiveCombine resolves the job's map-side combiner: the explicit
+// Combine when set, a combiner derived from the declared Monoid otherwise,
+// nil when the job has neither. The derived combiner keeps reusable scratch,
+// so call this once per task attempt on the TaskJob clone, never on a job
+// shared across concurrent attempts.
+func (j *Job) EffectiveCombine() CombineFunc {
+	if j.Combine != nil {
+		return j.Combine
+	}
+	if j.Monoid != nil {
+		return MonoidCombiner(j.Monoid)
+	}
+	return nil
+}
+
+// HasCombiner reports whether EffectiveCombine would return a combiner,
+// without constructing one — for cost-charging conditions outside the task
+// closure.
+func (j *Job) HasCombiner() bool { return j.Combine != nil || j.Monoid != nil }
 
 // Phase names used in CPU accounting and timelines, shared across engines
 // so Table II and the figures can compare like with like.

@@ -54,6 +54,7 @@ func Experiments() []Experiment {
 		{ID: "Ablation (fan-in)", Specs: ablationFanInSpecs, Render: (*Session).AblationFanIn},
 		{ID: "Ablation (HOP chunk)", Specs: ablationHOPChunkSpecs, Render: (*Session).AblationHOPChunk},
 		{ID: "Ablation (hot-key memory)", Specs: ablationHotKeyMemorySpecs, Render: (*Session).AblationHotKeyMemory},
+		{ID: "Resident (iterative)", Render: (*Session).ResidentIterative},
 		{ID: "Service (saturation)", Render: (*Session).ServiceSaturation},
 	}
 }

@@ -224,3 +224,32 @@ func TestServiceSaturationKnee(t *testing.T) {
 		t.Fatalf("render broken:\n%s", out)
 	}
 }
+
+// TestResidentIterativeChain: the chained-PageRank experiment must show the
+// resident engine reading zero disk after the init stage while agreeing
+// bit-for-bit with the disk engine's final ranks.
+func TestResidentIterativeChain(t *testing.T) {
+	s := NewSession(testScale())
+	rep := s.ResidentIterative()
+	if len(rep.Rows) != residentIterations+4 {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), residentIterations+4)
+	}
+	var agree, afterInit *Row
+	for i := range rep.Rows {
+		switch rep.Rows[i].Name {
+		case "final ranks":
+			agree = &rep.Rows[i]
+		case "disk reads after init":
+			afterInit = &rep.Rows[i]
+		}
+	}
+	if agree == nil || agree.Note != "bit-identical" {
+		t.Fatalf("final ranks disagree: %+v", agree)
+	}
+	if afterInit == nil || afterInit.Measured != "0.0 MB" {
+		t.Fatalf("resident chain read disk after init: %+v", afterInit)
+	}
+	if afterInit.Paper == "0.0 MB" {
+		t.Fatalf("disk engine read no disk after init — the comparison is vacuous: %+v", afterInit)
+	}
+}

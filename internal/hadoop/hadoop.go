@@ -175,7 +175,7 @@ func executeMapAttempt(rt *engine.Runtime, p *sim.Proc, node *cluster.Node, job 
 	node.Compute(p, engine.Dur(float64(cmps), costs.CompareNs), engine.PhaseSort)
 	rt.Counters.Add(engine.CtrSortComparisons, float64(cmps))
 
-	if job.Combine != nil {
+	if job.HasCombiner() {
 		node.Compute(p, engine.Dur(float64(combineInputs), costs.CombineNsPerRecord), engine.PhaseCombine)
 		buf = combined
 		if rt.Auditing() {

@@ -78,7 +78,7 @@ func TestCombinerShrinksShuffle(t *testing.T) {
 	w := workloads.PageFrequency(smallClicks())
 	_, withCombiner := run(t, w, enginetest.Config{}, Options{})
 	w2 := workloads.PageFrequency(smallClicks())
-	w2.Job.Combine = nil
+	w2.Job.Combine, w2.Job.Monoid = nil, nil
 	f2 := enginetest.New(t, w2, enginetest.Config{})
 	noCombiner, err := Run(f2.RT, f2.Job, Options{})
 	if err != nil {

@@ -27,6 +27,11 @@ type ReduceSide struct {
 	Merger   *sortmerge.Merger
 	Acc      *sortmerge.Accumulator
 	spillSeq int
+
+	// combine is this reduce side's effective combiner (explicit or
+	// monoid-derived), resolved once on the per-task job clone so derived
+	// scratch is owned by exactly this task.
+	combine engine.CombineFunc
 }
 
 // NewReduceSide builds the spill/merge state for reducer r on node. The
@@ -40,6 +45,7 @@ func NewReduceSide(rt *engine.Runtime, job *engine.Job, costs engine.CostModel,
 		Merger: sortmerge.NewMerger(node.ScratchStore(), fmt.Sprintf("%s/red-%04d", job.Name, r), fanIn),
 		Acc:    sortmerge.NewAccumulator(rt.TaskMemory(job)),
 	}
+	rs.combine = rs.job.EffectiveCombine()
 	// A merge pass rewrites its inputs verbatim, so its serialization cost
 	// is known before the merge runs; charging it through the hook overlaps
 	// the pooled merge work (MergePass below then charges only comparisons).
@@ -94,10 +100,10 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 		emit := func(k, v []byte) {
 			out = kv.AppendPair(out, k, v)
 		}
-		if rs.job.Combine != nil {
+		if rs.combine != nil {
 			var g kv.Grouper
 			combine := func(key []byte, vals [][]byte) {
-				rs.job.Combine(key, vals, emit)
+				rs.combine(key, vals, emit)
 				combineInputs += len(vals)
 			}
 			kv.MergeStreams(streams, &cmps, func(k, v []byte) {
@@ -108,13 +114,13 @@ func (rs *ReduceSide) Spill(p *sim.Proc) {
 			kv.MergeStreams(streams, &cmps, emit)
 		}
 	})
-	if rs.job.Combine == nil {
+	if rs.combine == nil {
 		// Without a combiner the spill rewrites its input verbatim, so the
 		// serialization charge is known up front and overlaps the merge.
 		rs.node.Compute(p, engine.Dur(float64(bufBytes), rs.costs.SerializeNsPerByte), engine.PhaseMerge)
 	}
 	work.Wait()
-	if rs.job.Combine != nil {
+	if rs.combine != nil {
 		rs.node.Compute(p, engine.Dur(float64(combineInputs), rs.costs.CombineNsPerRecord), engine.PhaseCombine)
 		rs.node.Compute(p, engine.Dur(float64(cmps), rs.costs.CompareNs)+
 			engine.Dur(float64(len(out)), rs.costs.SerializeNsPerByte), engine.PhaseMerge)

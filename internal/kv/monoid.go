@@ -1,0 +1,47 @@
+package kv
+
+// Monoid is the typed commutative-aggregate contract of "Monoidify!"
+// (Lin, 2013): a reduce whose value space carries an associative Combine
+// with an identity element. A workload that declares its reduce as a monoid
+// lets every engine combine partial results in-node before shuffle, and
+// lets the hash and resident engines merge partial states associatively —
+// the map output, the in-flight partials, and the final answer all live in
+// the same byte-encoded value space.
+//
+// Laws (checked by the property tests in internal/workloads):
+//
+//	Combine(Identity(), x) == x == Combine(x, Identity())   (identity)
+//	Combine(Combine(a, b), c) == Combine(a, Combine(b, c))  (associativity)
+//
+// and, for monoids that additionally implement Commutative:
+//
+//	Combine(a, b) == Combine(b, a)                          (commutativity)
+//
+// Combine may reuse a's storage; callers that need both inputs afterwards
+// must pass copies. Implementations must be stateless (safe to share across
+// the intra-run worker pool).
+type Monoid interface {
+	// Identity returns the neutral element. The returned slice must not be
+	// retained and mutated by the caller without copying.
+	Identity() []byte
+	// Combine folds b into a, returning the combined element. It may
+	// append into (and return) a's storage.
+	Combine(a, b []byte) []byte
+}
+
+// CommutativeMonoid marks a Monoid whose Combine is order-insensitive
+// byte-for-byte. Engines exploit commutativity to fold partials in arrival
+// order; the cross-engine differential checker relies on it for output
+// byte-identity under reordered shuffles.
+type CommutativeMonoid interface {
+	Monoid
+	// Commutative is a marker; implementations declare, the property tests
+	// verify.
+	Commutative()
+}
+
+// IsCommutative reports whether m declares the commutativity law.
+func IsCommutative(m Monoid) bool {
+	_, ok := m.(CommutativeMonoid)
+	return ok
+}

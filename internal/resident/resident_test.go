@@ -1,0 +1,217 @@
+package resident
+
+import (
+	"fmt"
+	"testing"
+
+	"onepass/internal/cluster"
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/enginetest"
+	"onepass/internal/faults"
+	"onepass/internal/gen"
+	"onepass/internal/kv"
+	"onepass/internal/sim"
+	"onepass/internal/workloads"
+)
+
+func smallClicks() gen.ClickConfig {
+	cfg := gen.DefaultClickConfig()
+	cfg.Users = 300
+	cfg.URLs = 150
+	return cfg
+}
+
+func run(t *testing.T, w *workloads.Workload, cfg enginetest.Config, opts Options) (*enginetest.Fixture, *engine.Result) {
+	t.Helper()
+	f := enginetest.New(t, w, cfg)
+	res, err := Run(f.RT, f.Job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, res
+}
+
+func TestAllWorkloadsMatchReference(t *testing.T) {
+	docs := gen.DefaultDocConfig()
+	docs.Vocab = 400
+	docs.WordsPerDoc = 60
+	cases := []*workloads.Workload{
+		workloads.Sessionization(smallClicks()),
+		workloads.PageFrequency(smallClicks()),
+		workloads.PerUserCount(smallClicks()),
+		workloads.InvertedIndex(docs),
+	}
+	for _, w := range cases {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			f, res := run(t, w, enginetest.Config{}, Options{})
+			f.CheckOutput(t, w, res)
+			if res.Engine != "resident" {
+				t.Fatalf("result labeled %q", res.Engine)
+			}
+		})
+	}
+}
+
+// TestMonoidFoldingShrinksShuffle: with the monoid declared, map-side
+// folding collapses per-key duplicates before the push, so fewer bytes
+// cross the network than with the monoid stripped — and both runs must
+// still produce the reference answer with identical checksums.
+func TestMonoidFoldingShrinksShuffle(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	fOn, resOn := run(t, w, enginetest.Config{}, Options{})
+	fOn.CheckOutput(t, w, resOn)
+
+	w2 := workloads.PerUserCount(smallClicks())
+	w2.Job.Monoid = nil
+	fOff, resOff := run(t, w2, enginetest.Config{}, Options{})
+	fOff.CheckOutput(t, w2, resOff)
+
+	if resOn.OutputChecksum != resOff.OutputChecksum {
+		t.Fatalf("monoid changed the answer: %016x vs %016x", resOn.OutputChecksum, resOff.OutputChecksum)
+	}
+	on := resOn.Counters.Get(engine.CtrShuffleBytes)
+	off := resOff.Counters.Get(engine.CtrShuffleBytes)
+	if on == 0 || off == 0 {
+		t.Fatalf("nothing shuffled: on=%v off=%v", on, off)
+	}
+	if on >= off {
+		t.Fatalf("map-side folding did not shrink the shuffle: %v >= %v", on, off)
+	}
+}
+
+// TestNoScratchDiskTraffic: the engine's contract is an all-memory data
+// path — no sort spills, no staged chunks, no intermediate files. Even
+// under backpressure tight enough to make mappers wait, scratch devices
+// must see zero data bytes.
+func TestNoScratchDiskTraffic(t *testing.T) {
+	w := workloads.Sessionization(smallClicks())
+	f, res := run(t, w, enginetest.Config{Reducers: 2, MemPerTask: 4 << 10},
+		Options{ChunkBytes: 2 << 10, BackpressureBytes: 4 << 10})
+	f.CheckOutput(t, w, res)
+	if spilled := res.Counters.Get(engine.CtrMapSpillBytes); spilled != 0 {
+		t.Fatalf("map-side staged %v bytes to disk", spilled)
+	}
+	for _, n := range f.RT.Cluster.ComputeNodes() {
+		if wr := n.ScratchDevice().BytesWritten(); wr != 0 {
+			t.Fatalf("node %d scratch device wrote %v bytes", n.ID, wr)
+		}
+	}
+}
+
+func TestNodeFailureRepushesLostChunks(t *testing.T) {
+	w := workloads.PerUserCount(smallClicks())
+	// Enough blocks that node 1 still has map tasks (and undelivered
+	// chunks) in flight when it dies.
+	f := enginetest.New(t, w, enginetest.Config{Nodes: 4, InputSize: 32 * 64 << 10})
+	res, err := Run(f.RT, f.Job, Options{Faults: faults.Schedule{Faults: []faults.Fault{
+		{Kind: faults.NodeFailure, Node: 1, At: 20 * sim.Millisecond}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.CheckOutput(t, w, res)
+	if res.Counters.Get(engine.CtrFaultsInjected) != 1 {
+		t.Fatal("fault not injected")
+	}
+	if res.Counters.Get(engine.CtrTasksReexecuted) == 0 {
+		t.Fatal("no lost map task was recovered")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	var sums []uint64
+	for i := 0; i < 2; i++ {
+		w := workloads.PageFrequency(smallClicks())
+		_, res := run(t, w, enginetest.Config{}, Options{ChunkBytes: 3 << 10})
+		sums = append(sums, res.OutputChecksum)
+	}
+	if sums[0] != sums[1] {
+		t.Fatalf("checksums differ across identical runs: %016x vs %016x", sums[0], sums[1])
+	}
+}
+
+// identityJob re-emits a previous stage's (key, value) pairs unchanged:
+// its output format equals its input format, so it chains onto itself
+// indefinitely — the shape of an iterative computation's per-step job.
+func identityJob(i int) engine.Job {
+	return engine.Job{
+		Name:   fmt.Sprintf("identity-%d", i),
+		Reader: workloads.PairReader,
+		Map: func(rec []byte, emit engine.Emit) {
+			k, v, n := kv.DecodePair(rec)
+			if n == 0 {
+				return
+			}
+			emit(k, v)
+		},
+		Reduce: func(key []byte, vals [][]byte, emit engine.Emit) {
+			for _, v := range vals {
+				emit(key, v)
+			}
+		},
+		Reducers: 4,
+	}
+}
+
+// TestChainedIterationsReadNoDisk is the resident engine's reason to
+// exist, as a regression test: after the first iteration reads the real
+// input, every later iteration of a chained computation maps over the
+// previous reduce output as memory-resident DFS blocks — the cluster-wide
+// disk read counter must not move again, across the whole chain.
+func TestChainedIterationsReadNoDisk(t *testing.T) {
+	env := sim.New()
+	ccfg := cluster.DefaultConfig()
+	ccfg.Nodes = 4
+	ccfg.CoresPerNode = 2
+	c := cluster.New(env, ccfg)
+	d := dfs.New(c, 64<<10, 1)
+	w := workloads.PageFrequency(smallClicks())
+	if err := d.RegisterGenerated("input/clicks", 8*64<<10, w.Gen); err != nil {
+		t.Fatal(err)
+	}
+
+	runStage := func(job engine.Job) *engine.Result {
+		t.Helper()
+		rt := engine.NewRuntime(env, c, d)
+		res, err := Run(rt, job, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	stage0 := w.Job
+	stage0.InputPath = "input/clicks"
+	stage0.OutputPath = "iter-0"
+	stage0.Reducers = 4
+	base := runStage(stage0)
+	if base.OutputPairs == 0 {
+		t.Fatal("stage 0 produced no output")
+	}
+	afterStage0 := c.DiskBytesRead()
+	if afterStage0 == 0 {
+		t.Fatal("stage 0 read no disk bytes — input was not disk-resident")
+	}
+
+	var prev *engine.Result = base
+	for i := 1; i <= 3; i++ {
+		job := identityJob(i)
+		job.InputPath = fmt.Sprintf("iter-%d", i-1)
+		job.OutputPath = fmt.Sprintf("iter-%d", i)
+		job.RetainOutput = true
+		before := c.DiskBytesRead()
+		res := runStage(job)
+		if delta := c.DiskBytesRead() - before; delta != 0 {
+			t.Fatalf("iteration %d read %v disk bytes; want 0 (resident hand-off missed)", i, delta)
+		}
+		if res.OutputPairs != prev.OutputPairs {
+			t.Fatalf("iteration %d emitted %d pairs, previous stage %d", i, res.OutputPairs, prev.OutputPairs)
+		}
+		if res.OutputChecksum != prev.OutputChecksum {
+			t.Fatalf("iteration %d checksum %016x != iteration %d's %016x",
+				i, res.OutputChecksum, i-1, prev.OutputChecksum)
+		}
+		prev = res
+	}
+}

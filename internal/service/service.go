@@ -36,6 +36,7 @@ import (
 	"math"
 	"sort"
 
+	"onepass"
 	"onepass/internal/cluster"
 	"onepass/internal/core"
 	"onepass/internal/dfs"
@@ -44,6 +45,7 @@ import (
 	"onepass/internal/hadoop"
 	"onepass/internal/hop"
 	"onepass/internal/metrics"
+	"onepass/internal/resident"
 	"onepass/internal/sim"
 )
 
@@ -170,7 +172,7 @@ func (c *Config) Validate() error {
 // handling).
 type JobRequest struct {
 	Tenant string
-	Engine string // "hadoop", "hop", "hash-hybrid", "hash-incremental", "hash-hotkey"
+	Engine string // any name accepted by onepass.ParseEngine ("hadoop", "hop", "hash-hybrid", ..., "resident")
 	Job    engine.Job
 	// InputPath names a dataset registered with RegisterInput.
 	InputPath string
@@ -397,11 +399,8 @@ func (s *Service) Submit(p *sim.Proc, req JobRequest) error {
 }
 
 func validEngine(name string) bool {
-	switch name {
-	case "hadoop", "hop", "hash-hybrid", "hash-incremental", "hash-hotkey":
-		return true
-	}
-	return false
+	_, err := onepass.ParseEngine(name)
+	return err == nil
 }
 
 // accrueAll advances every tenant's slot-second integral — and every
@@ -570,20 +569,24 @@ func (s *Service) launch(p *sim.Proc, t *tenant, j *job) {
 		rt.FinishResult(res)
 		s.complete(cp, j, res)
 	}
-	var err error
-	switch j.req.Engine {
-	case "hadoop":
-		err = hadoop.Start(rt, jb, hadoop.Options{}, done)
-	case "hop":
-		err = hop.Start(rt, jb, hop.Options{DisableSnapshots: true}, done)
-	case "hash-hybrid":
-		err = core.Start(rt, jb, core.Options{Mode: core.HybridHash}, done)
-	case "hash-incremental":
-		err = core.Start(rt, jb, core.Options{Mode: core.Incremental}, done)
-	case "hash-hotkey":
-		err = core.Start(rt, jb, core.Options{Mode: core.HotKey}, done)
-	default:
-		err = fmt.Errorf("service: unknown engine %q", j.req.Engine)
+	eng, err := onepass.ParseEngine(j.req.Engine)
+	if err == nil {
+		switch eng {
+		case onepass.Hadoop:
+			err = hadoop.Start(rt, jb, hadoop.Options{}, done)
+		case onepass.MapReduceOnline:
+			err = hop.Start(rt, jb, hop.Options{DisableSnapshots: true}, done)
+		case onepass.HashHybrid:
+			err = core.Start(rt, jb, core.Options{Mode: core.HybridHash}, done)
+		case onepass.HashIncremental:
+			err = core.Start(rt, jb, core.Options{Mode: core.Incremental}, done)
+		case onepass.HashHotKey:
+			err = core.Start(rt, jb, core.Options{Mode: core.HotKey}, done)
+		case onepass.Resident:
+			err = resident.Start(rt, jb, resident.Options{}, done)
+		default:
+			err = fmt.Errorf("service: unknown engine %q", j.req.Engine)
+		}
 	}
 	if err != nil {
 		// Submit pre-validated the request; a Start failure here is a

@@ -1,10 +1,121 @@
 package workloads
 
 import (
+	"bytes"
 	"encoding/binary"
 
 	"onepass/internal/engine"
+	"onepass/internal/kv"
 )
+
+// The counting, inverted-index, and top-k workloads declare their reduces
+// as monoids (kv.Monoid): the element space is the map-output value
+// encoding itself, Combine folds two elements into one, and a finished
+// fold is byte-identical to running the workload's Reduce over the same
+// value multiset. That single declaration gives every engine map-side
+// combining and gives the hash and resident engines associative state
+// merging — no per-engine Combine/Agg wiring. CountAgg and PostingsAgg
+// below remain as standalone Aggregator implementations (the hash engines'
+// explicit contract, exercised directly by the core tests).
+
+// CountMonoid is the counting workloads' monoid: elements are ASCII
+// decimal counts, Combine is addition, the identity is "0". Commutative.
+type CountMonoid struct{}
+
+var countZero = []byte{'0'}
+
+// Identity returns the ASCII zero count.
+func (CountMonoid) Identity() []byte { return countZero }
+
+// Combine adds two ASCII counts, reusing a's storage.
+func (CountMonoid) Combine(a, b []byte) []byte {
+	n := parseUint(a) + parseUint(b)
+	return appendUint(a[:0], n)
+}
+
+// Commutative declares the commutativity law (addition commutes).
+func (CountMonoid) Commutative() {}
+
+// PostingsMonoid is the inverted-index monoid: elements are canonically
+// sorted flat arrays of fixed-width postings, Combine is a sorted merge,
+// the identity is the empty list. A single posting (what the map emits) is
+// trivially sorted, so every fold stays inside the element space and the
+// finished fold equals the canonical sorted list reducePostings produces.
+// Commutative: equal postings are byte-identical, so merge order cannot
+// show in the output.
+type PostingsMonoid struct{}
+
+// Identity returns the empty posting list.
+func (PostingsMonoid) Identity() []byte { return nil }
+
+// Combine merges two sorted posting lists into one sorted list, reusing
+// a's storage: postings emitted in document order hit the O(1) append fast
+// path, and the general case merges b into a from the back, so a fold over
+// a group allocates only through append growth instead of one fresh buffer
+// per step.
+func (PostingsMonoid) Combine(a, b []byte) []byte {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 || bytes.Compare(a[len(a)-postingWidth:], b[:postingWidth]) <= 0 {
+		return append(a, b...)
+	}
+	i := len(a) // unmerged tail of the original a
+	a = append(a, b...)
+	j, w := len(b), len(a) // unmerged tail of b; write cursor
+	for i > 0 && j > 0 {
+		// The write cursor always trails the merged region (w = i+j > i),
+		// so copying a's own postings upward never clobbers unread ones.
+		if bytes.Compare(a[i-postingWidth:i], b[j-postingWidth:j]) > 0 {
+			copy(a[w-postingWidth:w], a[i-postingWidth:i])
+			i -= postingWidth
+		} else {
+			copy(a[w-postingWidth:w], b[j-postingWidth:j])
+			j -= postingWidth
+		}
+		w -= postingWidth
+	}
+	copy(a[i:w], b[:j]) // leftovers of b are the smallest; a's are in place
+	return a
+}
+
+// Commutative declares the commutativity law (sorted multiset union).
+func (PostingsMonoid) Commutative() {}
+
+// TopKMonoid is the top-k monoid: elements are canonical bounded top-k
+// lists in the encodeTop framing ("count name\n", count descending, ties
+// by name), Combine merges two lists and re-truncates to K, the identity
+// is the empty list. Truncated top-k selection over a total order is
+// associative and commutative, which is exactly why partial top-k states
+// are mergeable (§IV's open question).
+type TopKMonoid struct{ K int }
+
+// Identity returns the empty candidate list.
+func (TopKMonoid) Identity() []byte { return nil }
+
+// Combine merges two canonical lists, keeping the K largest.
+func (m TopKMonoid) Combine(a, b []byte) []byte {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(a, b...)
+	}
+	return encodeTop(mergeTop(m.K, decodeTop(a), decodeTop(b)))
+}
+
+// Commutative declares the commutativity law.
+func (TopKMonoid) Commutative() {}
+
+// Monoids returns every monoid the workloads declare, labeled, for the
+// law-checking property tests and the checker's monoid axis.
+func Monoids() map[string]kv.Monoid {
+	return map[string]kv.Monoid{
+		"count":    CountMonoid{},
+		"postings": PostingsMonoid{},
+		"top-k":    TopKMonoid{K: 5},
+	}
+}
 
 // CountAgg is the incremental aggregator for the counting workloads: an
 // 8-byte running sum. Its Final output matches sumReduce exactly, so hash
@@ -35,9 +146,22 @@ func (CountAgg) Final(key, state []byte, emit engine.Emit) {
 	emit(key, appendUint(nil, binary.LittleEndian.Uint64(state)))
 }
 
-// CountState reads a CountAgg state value (exported for threshold
-// predicates like Job.EmitWhen).
-func CountState(state []byte) uint64 { return binary.LittleEndian.Uint64(state) }
+// CountState reads a counting state value (exported for threshold
+// predicates like Job.EmitWhen): the ASCII element of CountMonoid — what
+// the hash engines hold for the monoid-declared counting workloads — or
+// CountAgg's 8-byte binary state. The two are distinguishable: a binary
+// state is exactly 8 bytes and, for any count reachable in practice, has
+// high-order bytes outside the ASCII digit range.
+func CountState(state []byte) uint64 {
+	if len(state) == 8 {
+		for _, c := range state {
+			if c < '0' || c > '9' {
+				return binary.LittleEndian.Uint64(state)
+			}
+		}
+	}
+	return parseUint(state)
+}
 
 // PostingsAgg is the incremental aggregator for inverted indexing: the
 // state is the concatenation of fixed-width postings, sorted canonically at

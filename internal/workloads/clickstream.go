@@ -125,10 +125,9 @@ func countingWorkload(name string, cfg gen.ClickConfig, key func(dst []byte, c t
 			keyBuf = key(keyBuf[:0], c)
 			emit(keyBuf, one)
 		},
-		Combine: engine.CombineFunc(sumReducer()),
-		Reduce:  sumReducer(),
-		Agg:     CountAgg{},
-		Costs:   engine.CostModel{MapNsPerRecord: mapNs},
+		Reduce: sumReducer(),
+		Monoid: CountMonoid{},
+		Costs:  engine.CostModel{MapNsPerRecord: mapNs},
 	}
 	w.Job.Fresh = func() engine.Job { return countingWorkload(name, cfg, key, mapNs).Job }
 	return w

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"onepass/internal/engine"
+	"onepass/internal/kv"
+)
+
+// The monoid laws promised by kv.Monoid's doc comment, checked over
+// randomly generated elements of each declared monoid's value space.
+// Combine may reuse its first argument's storage, so every evaluation gets
+// fresh copies and compares against saved copies.
+
+// elementGen produces one random canonical element of a monoid's value
+// space. Elements must be canonical (reachable by folding map outputs):
+// PostingsMonoid's laws, for instance, only hold over sorted lists.
+var elementGens = map[string]func(rng *rand.Rand) []byte{
+	"count": func(rng *rand.Rand) []byte {
+		return appendUint(nil, rng.Uint64()%1_000_000)
+	},
+	"postings": func(rng *rand.Rand) []byte {
+		n := rng.Intn(6)
+		raw := make([]byte, n*postingWidth)
+		rng.Read(raw)
+		return sortPostings(raw)
+	},
+	"top-k": func(rng *rand.Rand) []byte {
+		n := rng.Intn(6)
+		entries := make([]topEntry, n)
+		for i := range entries {
+			entries[i] = topEntry{
+				count: rng.Uint64() % 1000,
+				name:  []byte(fmt.Sprintf("item-%d", rng.Intn(50))),
+			}
+		}
+		// mergeTop canonicalizes: descending count, ties by name, truncated.
+		return encodeTop(mergeTop(5, entries))
+	},
+}
+
+func cp(b []byte) []byte { return append([]byte(nil), b...) }
+
+func combine(m kv.Monoid, a, b []byte) []byte {
+	return m.Combine(cp(a), cp(b))
+}
+
+func TestMonoidLaws(t *testing.T) {
+	for name, m := range Monoids() {
+		gen, ok := elementGens[name]
+		if !ok {
+			t.Fatalf("monoid %q has no element generator; add one to elementGens", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			id := m.Identity()
+			for trial := 0; trial < 200; trial++ {
+				a, b, c := gen(rng), gen(rng), gen(rng)
+
+				if got := combine(m, id, a); !bytes.Equal(got, a) {
+					t.Fatalf("trial %d: Combine(Identity, a) = %q, want %q", trial, got, a)
+				}
+				if got := combine(m, a, id); !bytes.Equal(got, a) {
+					t.Fatalf("trial %d: Combine(a, Identity) = %q, want %q", trial, got, a)
+				}
+
+				left := combine(m, combine(m, a, b), c)
+				right := combine(m, a, combine(m, b, c))
+				if !bytes.Equal(left, right) {
+					t.Fatalf("trial %d: associativity broken:\n (a·b)·c = %q\n a·(b·c) = %q\n a=%q b=%q c=%q",
+						trial, left, right, a, b, c)
+				}
+
+				if kv.IsCommutative(m) {
+					ab, ba := combine(m, a, b), combine(m, b, a)
+					if !bytes.Equal(ab, ba) {
+						t.Fatalf("trial %d: commutativity broken: a·b = %q, b·a = %q", trial, ab, ba)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMonoidIdentityUnaliased: engines hold Identity() results as initial
+// states and Combine may append into its first argument, so a returned
+// identity whose storage is shared across calls would let one key's fold
+// bleed into another's.
+func TestMonoidIdentityUnaliased(t *testing.T) {
+	for name, m := range Monoids() {
+		gen := elementGens[name]
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			id1 := cp(m.Identity())
+			st := m.Combine(cp(m.Identity()), gen(rng))
+			_ = st
+			if id2 := m.Identity(); !bytes.Equal(id1, id2) {
+				t.Fatalf("Identity() changed after a Combine: %q then %q", id1, id2)
+			}
+		})
+	}
+}
+
+// TestMonoidFoldMatchesReduce: a finished Combine-fold over a value
+// multiset must be byte-identical to running the workload's Reduce over the
+// same multiset — the substitution every engine's combining layer depends
+// on.
+func TestMonoidFoldMatchesReduce(t *testing.T) {
+	cases := []struct {
+		name   string
+		m      kv.Monoid
+		gen    func(rng *rand.Rand) []byte
+		reduce engine.ReduceFunc
+	}{
+		{"count", CountMonoid{}, elementGens["count"], sumReducer()},
+		{"postings", PostingsMonoid{}, elementGens["postings"], reducePostingsFunc()},
+		{"top-k", TopKMonoid{K: 5}, elementGens["top-k"], TopK(5).Reduce},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			for trial := 0; trial < 50; trial++ {
+				vals := make([][]byte, 1+rng.Intn(8))
+				for i := range vals {
+					vals[i] = tc.gen(rng)
+				}
+				folded := cp(tc.m.Identity())
+				for _, v := range vals {
+					folded = tc.m.Combine(folded, cp(v))
+				}
+				var reduced []byte
+				tc.reduce([]byte("k"), vals, func(_, v []byte) { reduced = cp(v) })
+				if !bytes.Equal(folded, reduced) {
+					t.Fatalf("trial %d: fold %q != reduce %q over %q", trial, folded, reduced, vals)
+				}
+			}
+		})
+	}
+}

@@ -89,25 +89,11 @@ func PairReader(block []byte, yield func(rec []byte)) {
 	}
 }
 
-// topKAgg folds candidates incrementally: the state is itself a bounded
-// top-k list — the mergeable-partial-state answer to §IV's open question.
-type topKAgg struct{ k int }
-
-func (a topKAgg) Init(val []byte) []byte { return append([]byte(nil), val...) }
-func (a topKAgg) Update(state, val []byte) []byte {
-	return encodeTop(mergeTop(a.k, decodeTop(state), decodeTop(val)))
-}
-func (a topKAgg) Merge(x, y []byte) []byte { return a.Update(x, y) }
-func (a topKAgg) Final(key, state []byte, emit engine.Emit) {
-	emit(key, encodeTop(mergeTop(a.k, decodeTop(state))))
-}
-
 // TopK builds the second-stage job: read the (name, count) pairs a counting
 // job (page frequency, per-user count) wrote, and produce the k most
 // frequent entries under the single key "top". Set Job.InputPath to the
 // first stage's OutputPath before running.
 func TopK(k int) engine.Job {
-	agg := topKAgg{k: k}
 	reduceTop := func(key []byte, vals [][]byte, emit engine.Emit) {
 		lists := make([][]topEntry, 0, len(vals))
 		for _, v := range vals {
@@ -125,9 +111,8 @@ func TopK(k int) engine.Job {
 			}
 			emit(TopKKey, encodeTop([]topEntry{{count: parseUint(count), name: name}}))
 		},
-		Combine:  reduceTop,
 		Reduce:   reduceTop,
-		Agg:      agg,
+		Monoid:   TopKMonoid{K: k},
 		Reducers: 1,
 		Costs:    engine.CostModel{MapNsPerRecord: 120},
 		Fresh:    func() engine.Job { return TopK(k) },

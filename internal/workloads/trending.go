@@ -36,10 +36,9 @@ func WindowedTopicCounts(cfg gen.ClickConfig, windowSecs uint32) *Workload {
 			keyBuf = append(keyBuf, c.URL...)
 			emit(keyBuf, one)
 		},
-		Combine: engine.CombineFunc(sumReducer()),
-		Reduce:  sumReducer(),
-		Agg:     CountAgg{},
-		Costs:   engine.CostModel{MapNsPerRecord: 80},
+		Reduce: sumReducer(),
+		Monoid: CountMonoid{},
+		Costs:  engine.CostModel{MapNsPerRecord: 80},
 	}
 	w.Job.Fresh = func() engine.Job { return WindowedTopicCounts(cfg, windowSecs).Job }
 	return w
@@ -50,7 +49,6 @@ func WindowedTopicCounts(cfg gen.ClickConfig, windowSecs uint32) *Workload {
 // partial-top-k state as global TopK — grouped by window instead of one
 // global key.
 func TopKPerWindow(k int) engine.Job {
-	agg := topKAgg{k: k}
 	reduceTop := func(key []byte, vals [][]byte, emit engine.Emit) {
 		lists := make([][]topEntry, 0, len(vals))
 		for _, v := range vals {
@@ -73,9 +71,8 @@ func TopKPerWindow(k int) engine.Job {
 			window, topic := key[:sep], key[sep+1:]
 			emit(window, encodeTop([]topEntry{{count: parseUint(count), name: topic}}))
 		},
-		Combine:  reduceTop,
 		Reduce:   reduceTop,
-		Agg:      agg,
+		Monoid:   TopKMonoid{K: k},
 		Reducers: 4,
 		Costs:    engine.CostModel{MapNsPerRecord: 150},
 		Fresh:    func() engine.Job { return TopKPerWindow(k) },

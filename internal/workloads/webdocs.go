@@ -65,10 +65,9 @@ func InvertedIndex(cfg gen.DocConfig) *Workload {
 				emit(word, posting)
 			}
 		},
-		Combine: concatPostingsFunc(),
-		Reduce:  reducePostingsFunc(),
-		Agg:     PostingsAgg{},
-		Costs:   engine.CostModel{MapNsPerRecord: 2500, ReduceNsPerRecord: 30},
+		Reduce: reducePostingsFunc(),
+		Monoid: PostingsMonoid{},
+		Costs:  engine.CostModel{MapNsPerRecord: 2500, ReduceNsPerRecord: 30},
 	}
 	w.Job.Fresh = func() engine.Job { return InvertedIndex(cfg).Job }
 	return w
@@ -80,18 +79,6 @@ func isStopword(word []byte, threshold uint64) bool {
 		return false
 	}
 	return parseUint(word[1:]) < threshold
-}
-
-// concatPostingsFunc returns a combiner that merges the postings of one word
-// into a single value — partial aggregation that cuts per-record overhead in
-// the shuffle. The output buffer is reused across keys.
-func concatPostingsFunc() engine.CombineFunc {
-	var out []byte
-	return func(key []byte, vals [][]byte, emit engine.Emit) {
-		out = out[:0]
-		splitFixed(vals, postingWidth, func(unit []byte) { out = append(out, unit...) })
-		emit(key, out)
-	}
 }
 
 // reducePostingsFunc returns a reducer producing the canonical sorted

@@ -105,7 +105,11 @@ func TestCombineMatchesReduceForCounting(t *testing.T) {
 	w := PageFrequency(smallClickCfg())
 	vals := [][]byte{[]byte("1"), []byte("41"), []byte("0")}
 	var viaCombine, viaReduce string
-	w.Job.Combine([]byte("k"), vals, func(k, v []byte) { viaCombine = string(v) })
+	combine := w.Job.EffectiveCombine()
+	if combine == nil {
+		t.Fatal("counting workload must derive a combiner from its monoid")
+	}
+	combine([]byte("k"), vals, func(k, v []byte) { viaCombine = string(v) })
 	w.Job.Reduce([]byte("k"), vals, func(k, v []byte) { viaReduce = string(v) })
 	if viaCombine != "42" || viaReduce != "42" {
 		t.Fatalf("combine=%q reduce=%q", viaCombine, viaReduce)
@@ -298,7 +302,7 @@ func TestTopKAggMatchesReduce(t *testing.T) {
 	}
 	var viaReduce string
 	job.Reduce(TopKKey, vals, func(k, v []byte) { viaReduce = string(v) })
-	agg := job.Agg
+	agg := engine.MonoidAgg{M: job.Monoid}
 	state := agg.Init(vals[0])
 	for _, v := range vals[1:] {
 		state = agg.Update(state, v)
