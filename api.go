@@ -204,6 +204,12 @@ var (
 	PageFrequency = workloads.PageFrequency
 	// PerUserCount counts clicks per user.
 	PerUserCount = workloads.PerUserCount
+	// WindowedSessionization buckets clicks into fixed event-time windows
+	// before sessionizing ("u<user>@<window>") — the sliding-window
+	// scenario whose trailing windows are all a delta's appended blocks
+	// touch, so incremental re-runs serve closed windows from preserved
+	// state. A zero window means workloads.DefaultSessionWindow.
+	WindowedSessionization = workloads.WindowedSessionization
 	// InvertedIndex builds word -> postings over documents.
 	InvertedIndex = workloads.InvertedIndex
 	// DefaultClickConfig mirrors the World Cup '98 log's skew.
@@ -269,6 +275,14 @@ type Config struct {
 	// it nil keeps the run on the zero-cost path and its results
 	// byte-identical to untraced ones.
 	Trace TraceSink
+
+	// Delta, when non-nil, reroutes Run through the incremental re-run path
+	// (RunDelta): prime preserved reduce-side state over the base dataset,
+	// apply the delta, re-map only changed blocks, re-fold only affected
+	// keys, and return the incremental re-run's Result — byte-identical
+	// OutputChecksum to a full re-run over DeltaDataset(data, *Delta,
+	// BlockSize) on every delta-capable engine.
+	Delta *Delta
 
 	// Faults is the deterministic fault schedule to inject during the run.
 	// All engines honor it; the same schedule and input yield byte-identical
@@ -336,6 +350,13 @@ type Dataset struct {
 
 // Run executes job over data on a fresh simulated cluster per cfg.
 func Run(cfg Config, data Dataset, job Job) (*Result, error) {
+	if cfg.Delta != nil {
+		dr, err := RunDelta(cfg, data, job, *cfg.Delta)
+		if err != nil {
+			return nil, err
+		}
+		return dr.Incremental, nil
+	}
 	env := sim.New()
 	env.SetWorkers(cfg.Parallelism)
 	cl := cluster.New(env, cfg.clusterConfig())

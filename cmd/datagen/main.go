@@ -47,6 +47,12 @@ func main() {
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
+		if *users < 0 {
+			log.Fatalf("bad -users: %d: must be positive", *users)
+		}
+		if *urls < 0 {
+			log.Fatalf("bad -urls: %d: must be positive", *urls)
+		}
 		if *users > 0 {
 			cfg.Users = *users
 		}

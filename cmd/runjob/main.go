@@ -5,6 +5,7 @@
 //	runjob -workload sessionization -engine hash-incremental -size 64MB
 //	runjob -workload per-user-count -engine hadoop -ssd
 //	runjob -workload sessionization -engine hash-hotkey -trace run.json
+//	runjob -workload per-user-count -engine resident -delta 0.01
 package main
 
 import (
@@ -17,13 +18,14 @@ import (
 	"time"
 
 	"onepass"
+	"onepass/internal/metrics"
 	"onepass/internal/textfmt"
 )
 
 func main() {
 	log.SetFlags(0)
 	workload := flag.String("workload", "sessionization",
-		"sessionization | page-frequency | per-user-count | inverted-index")
+		"sessionization | windowed-sessionization | page-frequency | per-user-count | inverted-index")
 	engineName := flag.String("engine", "hadoop",
 		strings.Join(onepass.EngineNames(), " | "))
 	size := flag.String("size", "32MB", "input size (e.g. 64MB, 1GB)")
@@ -46,6 +48,9 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "derive a chaos fault schedule from this seed (ignored when -fault is set)")
 	parallel := flag.Int("parallel-intra", 0,
 		"worker goroutines for intra-run data work (0 or 1 = serial; results are byte-identical either way)")
+	deltaFrac := flag.Float64("delta", 0,
+		"evolve this fraction of the input (seeded updates+deletes+appends) and compare the incremental re-run against a full re-run (click workloads only)")
+	deltaSeed := flag.Uint64("delta-seed", 42, "delta derivation seed (with -delta)")
 	flag.Parse()
 
 	cfg := onepass.DefaultConfig()
@@ -80,16 +85,21 @@ func main() {
 		log.Fatalf("bad -engine: %v", err)
 	}
 
+	cc := onepass.DefaultClickConfig()
 	var w *onepass.Workload
+	clicks := true
 	switch *workload {
 	case "sessionization":
-		w = onepass.Sessionization(onepass.DefaultClickConfig())
+		w = onepass.Sessionization(cc)
+	case "windowed-sessionization":
+		w = onepass.WindowedSessionization(cc, 0)
 	case "page-frequency":
-		w = onepass.PageFrequency(onepass.DefaultClickConfig())
+		w = onepass.PageFrequency(cc)
 	case "per-user-count":
-		w = onepass.PerUserCount(onepass.DefaultClickConfig())
+		w = onepass.PerUserCount(cc)
 	case "inverted-index":
 		w = onepass.InvertedIndex(onepass.DefaultDocConfig())
+		clicks = false
 	default:
 		log.Fatalf("unknown workload %q", *workload)
 	}
@@ -97,6 +107,23 @@ func main() {
 	data := onepass.Dataset{Path: "input/" + w.Name, Size: inputSize, Gen: w.Gen}
 	if *streamSecs > 0 {
 		data.ArrivalRate = float64(inputSize) / *streamSecs
+	}
+
+	if *deltaFrac != 0 {
+		if *deltaFrac < 0 || *deltaFrac > 1 {
+			log.Fatalf("bad -delta: %v: must be in (0,1]", *deltaFrac)
+		}
+		if *streamSecs > 0 {
+			log.Fatal("-delta cannot be combined with -stream: deltas evolve a stored input")
+		}
+		if *faultSpec != "" || *faultSeed != 0 {
+			log.Fatal("-delta cannot be combined with -fault or -fault-seed")
+		}
+		if !clicks {
+			log.Fatalf("-delta requires a click workload, not %q", *workload)
+		}
+		runDeltaCompare(cfg, data, w.Job, onepass.DefaultDelta(cc, *deltaSeed, *deltaFrac))
+		return
 	}
 	job := w.Job
 	if *progress {
@@ -239,6 +266,69 @@ func main() {
 		fmt.Print(tl.Gantt(72))
 		fmt.Print(prof.NodeUtilReport())
 	}
+}
+
+// runDeltaCompare runs the -delta comparison: the incremental path (prime
+// on the base, re-run over changed blocks plus preserved state) against a
+// full re-run over the evolved dataset on a fresh cluster. The report is
+// deterministic — same flags, same bytes — and the process exits non-zero
+// if the outputs diverge, so CI can gate on it directly.
+func runDeltaCompare(cfg onepass.Config, data onepass.Dataset, job onepass.Job, d onepass.Delta) {
+	cfg.DiscardOutput = false
+	dr, err := onepass.RunDelta(cfg, data, job, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := onepass.NewCluster(cfg)
+	v2 := onepass.DeltaDataset(data, d, cfg.BlockSize)
+	if err := cl.Register(v2); err != nil {
+		log.Fatal(err)
+	}
+	job.InputPath = v2.Path
+	job.RetainOutput = true
+	full, err := cl.RunJob(job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullDisk := cl.DiskBytesRead()
+
+	st := dr.Stats
+	fmt.Printf("Incremental vs full re-run: %s, delta %.3g (seed %d)\n", job.Name, d.DirtyFrac, d.Seed)
+	fmt.Printf("  base:        %d blocks, makespan %.2fs, %s disk read (priming)\n",
+		st.BaseBlocks, dr.Base.Makespan.Seconds(), metrics.FormatBytes(st.BaseDiskReadBytes))
+	fmt.Printf("  delta:       %d dirty + %d appended blocks\n", st.DirtyBlocks, st.AppendedBlocks)
+	fmt.Printf("  incremental: makespan %.2fs, %s disk read, %d/%d keys re-folded, state %s\n",
+		dr.Incremental.Makespan.Seconds(), metrics.FormatBytes(st.IncrementalDiskReadBytes),
+		st.AffectedKeys, st.TotalKeys, metrics.FormatBytes(float64(st.StateBytes)))
+	fmt.Printf("  full re-run: makespan %.2fs, %s disk read\n",
+		full.Makespan.Seconds(), metrics.FormatBytes(fullDisk))
+
+	if dr.Incremental.OutputChecksum != full.OutputChecksum || !sameOutput(dr.Incremental.Output, full.Output) {
+		fmt.Printf("  verdict: OUTPUT DIVERGED (incremental %016x, full %016x)\n",
+			dr.Incremental.OutputChecksum, full.OutputChecksum)
+		os.Exit(1)
+	}
+	fmt.Printf("  verdict: byte-identical output (checksum %016x, %d keys)\n",
+		full.OutputChecksum, len(full.Output))
+	if st.IncrementalDiskReadBytes < fullDisk {
+		fmt.Printf("  verdict: incremental read strictly fewer disk bytes (%s < %s)\n",
+			metrics.FormatBytes(st.IncrementalDiskReadBytes), metrics.FormatBytes(fullDisk))
+	} else {
+		fmt.Printf("  verdict: incremental read no fewer disk bytes (%s >= %s; preserved state rivals the input at this scale)\n",
+			metrics.FormatBytes(st.IncrementalDiskReadBytes), metrics.FormatBytes(fullDisk))
+	}
+}
+
+func sameOutput(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range b {
+		if a[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // diagnostics is the runjob -json block for real-time (non-deterministic)

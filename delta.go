@@ -1,0 +1,485 @@
+package onepass
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"onepass/internal/dfs"
+	"onepass/internal/engine"
+	"onepass/internal/gen"
+	"onepass/internal/incr"
+	"onepass/internal/kv"
+	"onepass/internal/sim"
+)
+
+// Delta describes a seeded, replayable evolution of a click-log dataset —
+// record updates and deletes inside a deterministic subset of blocks plus
+// appended blocks of new clicks (see gen.Delta). Delta.Clicks must be the
+// exact generator config behind the dataset it evolves.
+type Delta = gen.Delta
+
+// DefaultDelta is the standard mixed delta at a given overall size: frac of
+// the base blocks dirty and frac of the base size appended.
+var DefaultDelta = gen.DefaultDelta
+
+// DeltaStats quantifies one incremental re-run against its full-re-run
+// equivalent.
+type DeltaStats struct {
+	// BaseBlocks is the base file's block count; DirtyBlocks of them were
+	// rewritten and AppendedBlocks were added past the base.
+	BaseBlocks     int
+	DirtyBlocks    int
+	AppendedBlocks int
+	// TotalKeys is the distinct grouping keys with live preserved state
+	// after the delta; AffectedKeys of them were re-folded by the
+	// incremental merge (the rest were served from cached finals).
+	TotalKeys    int
+	AffectedKeys int
+	// StateBytes is the encoded merge input of the incremental re-run: the
+	// preserved state actually consulted (cached finals plus affected keys'
+	// per-block partials).
+	StateBytes int
+	// BaseDiskReadBytes and IncrementalDiskReadBytes split the cluster's
+	// cumulative disk reads between priming (full pass over the base) and
+	// the incremental re-run (delta blocks + preserved state only) — the
+	// observable the incremental path exists to shrink.
+	BaseDiskReadBytes        float64
+	IncrementalDiskReadBytes float64
+}
+
+// DeltaResult is a completed incremental re-run: the primed base answer,
+// the incrementally maintained answer after the delta, and the cost split.
+// Incremental.OutputChecksum must equal a full re-run over
+// DeltaDataset(data, d, cfg.BlockSize) on the same engine — the oracle the
+// differential checker and the incremental-smoke CI job enforce.
+type DeltaResult struct {
+	Base        *Result
+	Incremental *Result
+	Stats       DeltaStats
+}
+
+// DeltaDataset returns the evolved dataset a delta produces — what a full
+// re-run reads: the base generator with dirty blocks mutated and appended
+// blocks past the base. blockSize must match the Config the base ran with
+// (0 = the DFS default); the delta's block granularity is defined by it.
+func DeltaDataset(data Dataset, d Delta, blockSize int64) Dataset {
+	if blockSize <= 0 {
+		blockSize = dfs.DefaultBlockSize
+	}
+	nBase := int((data.Size + blockSize - 1) / blockSize)
+	apply := d.Apply(nBase)
+	return Dataset{
+		Path: data.Path + ".v2",
+		Size: data.Size + int64(d.AppendCount(nBase))*blockSize,
+		Gen: func(b int, size int64) []byte {
+			if b < nBase {
+				return apply(b, baseBlockSize(data.Size, blockSize, b))
+			}
+			return apply(b, blockSize)
+		},
+	}
+}
+
+func baseBlockSize(totalSize, blockSize int64, b int) int64 {
+	if s := totalSize - int64(b)*blockSize; s < blockSize {
+		return s
+	}
+	return blockSize
+}
+
+// deltaCapable rejects jobs whose reduce-side state cannot be preserved
+// lawfully: composing per-block partials in block order is only correct
+// when the reduce is a multiset function — declared either as a kv.Monoid
+// (partials are monoid elements) or via Job.OrderInsensitive (partials are
+// the raw value multisets).
+func deltaCapable(job Job) error {
+	switch {
+	case job.Agg != nil:
+		return fmt.Errorf("onepass: job %q uses an explicit Aggregator; delta re-runs need a declared Monoid or an OrderInsensitive reduce", job.Name)
+	case job.Combine != nil:
+		return fmt.Errorf("onepass: job %q uses an explicit combiner; delta re-runs need a declared Monoid or an OrderInsensitive reduce", job.Name)
+	case job.EmitWhen != nil:
+		return fmt.Errorf("onepass: job %q sets EmitWhen; early-emit predicates do not compose with preserved state", job.Name)
+	case job.Monoid == nil && !job.OrderInsensitive:
+		return fmt.Errorf("onepass: job %q has an order-sensitive reduce; delta re-runs need a declared Monoid or Job.OrderInsensitive", job.Name)
+	}
+	return nil
+}
+
+// monoidKey names the aggregation law preserved state composes under —
+// partials captured under one law must never be merged under another.
+func monoidKey(job Job) string {
+	if job.Monoid != nil {
+		return fmt.Sprintf("monoid:%T", job.Monoid)
+	}
+	return "holistic:" + job.Name
+}
+
+// RunDelta executes the incremental re-run path on a single simulated
+// cluster: prime fine-grained reduce-side state with one pass over the base
+// dataset, apply the delta, then re-map only the changed blocks and re-fold
+// only the affected keys, serving every untouched key from its cached
+// final. Both answers come out of real engine runs (cfg.Engine end to end),
+// so Incremental.OutputChecksum is directly comparable to a full re-run
+// over DeltaDataset(data, d, cfg.BlockSize).
+//
+// The mechanism is engine-agnostic: a capture run tags every map-output key
+// with its origin block (per-(block, key) partials: monoid elements for
+// monoid jobs, framed value multisets for holistic ones), and a merge run
+// re-reduces the preserved state. For the disk engines the state file is
+// spill-backed — written through the replicated DFS pipeline and read back
+// with charged I/O; for the resident engine it is published as a
+// memory-resident block, persisting the fold tables the way M3R keeps state
+// across jobs.
+func RunDelta(cfg Config, data Dataset, job Job, d Delta) (*DeltaResult, error) {
+	cfg.Delta = nil
+	if cfg.DisableMonoid {
+		// Strip once up front: the capture/merge wrappers must see the
+		// monoid-free job so the holistic path is used consistently.
+		job.Monoid = nil
+		cfg.DisableMonoid = false
+	}
+	if err := deltaCapable(job); err != nil {
+		return nil, err
+	}
+	if data.Gen == nil {
+		return nil, fmt.Errorf("onepass: dataset %q has no generator", data.Path)
+	}
+	if data.ArrivalRate > 0 {
+		return nil, fmt.Errorf("onepass: delta re-runs need a materialized base dataset, not a streamed one")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("onepass: %w", err)
+	}
+
+	c := NewCluster(cfg)
+	blockSize := c.dfs.BlockSize()
+	nBase := int((data.Size + blockSize - 1) / blockSize)
+	if nBase == 0 {
+		return nil, fmt.Errorf("onepass: dataset %q is empty", data.Path)
+	}
+	dirty := d.DirtyBlocks(nBase)
+	nApp := d.AppendCount(nBase)
+	if len(dirty) == 0 && nApp == 0 {
+		return nil, fmt.Errorf("onepass: delta changes nothing (zero dirty and appended fractions)")
+	}
+
+	// Phase 1 — prime: one tagged pass over the whole base captures
+	// per-(block, key) partials, then a merge over all of them produces the
+	// base answer and caches every key's final.
+	taggedBase := data.Path + ".delta/base"
+	err := c.dfs.RegisterGenerated(taggedBase, int64(nBase)*blockSize, func(b int, _ int64) []byte {
+		return tagBlock(b, data.Gen(b, baseBlockSize(data.Size, blockSize, b)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	state := incr.New(monoidKey(job))
+	capRes, err := c.RunJob(captureJob(job, taggedBase, data.Path+".delta/partials-base"))
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := parseCapture(capRes.Output)
+	if err != nil {
+		return nil, err
+	}
+	for b, partials := range blocks {
+		state.ReplaceBlock(b, partials, nil)
+	}
+	base, _, err := runMerge(c, job, state, nil, data.Path+".delta/state-base", "out/"+job.Name+"-base")
+	if err != nil {
+		return nil, err
+	}
+	state.SetFinals(base.Output)
+	baseDisk := c.DiskBytesRead()
+
+	// Phase 2 — incremental: a tagged file holding only the changed blocks
+	// (mutated dirty blocks + appended blocks), a capture pass over it, and
+	// a merge whose input is cached finals for untouched keys plus
+	// per-block partials for affected ones.
+	changed := append([]int(nil), dirty...)
+	for i := 0; i < nApp; i++ {
+		changed = append(changed, nBase+i)
+	}
+	taggedDelta := data.Path + ".delta/changed"
+	err = c.dfs.RegisterGenerated(taggedDelta, int64(len(changed))*blockSize, func(i int, _ int64) []byte {
+		b := changed[i]
+		if b < nBase {
+			return tagBlock(b, d.MutatedBlock(b, baseBlockSize(data.Size, blockSize, b)))
+		}
+		return tagBlock(b, d.AppendedBlock(b-nBase, nBase, blockSize))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := state.CheckKey(monoidKey(job)); err != nil {
+		return nil, err
+	}
+	capRes, err = c.RunJob(captureJob(job, taggedDelta, data.Path+".delta/partials-delta"))
+	if err != nil {
+		return nil, err
+	}
+	newBlocks, err := parseCapture(capRes.Output)
+	if err != nil {
+		return nil, err
+	}
+	affected := make(map[string]bool)
+	for _, b := range changed {
+		state.ReplaceBlock(b, newBlocks[b], affected)
+	}
+	inc, stateBytes, err := runMerge(c, job, state, affected,
+		data.Path+".delta/state-delta", "out/"+job.Name+"-incremental")
+	if err != nil {
+		return nil, err
+	}
+	state.SetFinals(inc.Output)
+
+	return &DeltaResult{
+		Base:        base,
+		Incremental: inc,
+		Stats: DeltaStats{
+			BaseBlocks:               nBase,
+			DirtyBlocks:              len(dirty),
+			AppendedBlocks:           nApp,
+			TotalKeys:                state.Keys(),
+			AffectedKeys:             len(affected),
+			StateBytes:               stateBytes,
+			BaseDiskReadBytes:        baseDisk,
+			IncrementalDiskReadBytes: c.DiskBytesRead() - baseDisk,
+		},
+	}, nil
+}
+
+// runMerge encodes the preserved state for the given affected-key set
+// (nil = every key), publishes it, and re-reduces it with a real engine
+// job, returning the merge result and the encoded state size.
+func runMerge(c *Cluster, job Job, state *incr.State, affected map[string]bool, statePath, outPath string) (*Result, int, error) {
+	input, err := state.MergeInput(affected)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := publishState(c, statePath, input); err != nil {
+		return nil, 0, err
+	}
+	res, err := c.RunJob(mergeJob(job, statePath, outPath))
+	return res, len(input), err
+}
+
+// publishState persists the encoded merge input into the cluster's DFS. The
+// disk engines get the spill-backed variant — written through the
+// replicated DFS pipeline, so both the write here and the merge job's read
+// are charged I/O; the resident engine keeps its preserved fold state
+// memory-resident, charging network hand-off only.
+func publishState(c *Cluster, path string, data []byte) error {
+	node := c.cl.StorageNodes()[0].ID
+	if c.cfg.Engine == Resident {
+		return c.dfs.RegisterResident(path, node, data)
+	}
+	w, err := c.dfs.CreateWriter(path, node, false)
+	if err != nil {
+		return err
+	}
+	c.env.Go("delta-state-write", func(p *sim.Proc) { w.Append(p, data) })
+	c.env.Run()
+	return nil
+}
+
+// deltaMagic heads every block of a tagged capture input: 4 magic bytes
+// plus the little-endian origin block id.
+const deltaMagic = "DLT1"
+
+func tagBlock(id int, content []byte) []byte {
+	out := make([]byte, 0, len(content)+8)
+	out = append(out, deltaMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(id))
+	return append(out, content...)
+}
+
+func cutTag(block []byte) (int, []byte, bool) {
+	if len(block) < 8 || string(block[:4]) != deltaMagic {
+		return 0, nil, false
+	}
+	return int(binary.LittleEndian.Uint32(block[4:8])), block[8:], true
+}
+
+// captureJob wraps a job so one engine run yields per-(block, key) partial
+// aggregates: the reader peels each block's origin tag, the map prefixes
+// every emitted key with uvarint(origin block), and — for holistic jobs —
+// the reduce is replaced by a framing reducer whose output value is the
+// key's raw value multiset for that block. Monoid jobs keep their monoid
+// and reduce: per-(block, key) groups fold to monoid elements on every
+// engine, and by the monoid law those elements are byte-identical across
+// engines' fold orders.
+func captureJob(inner Job, input, output string) Job {
+	j := inner
+	j.Name = inner.Name + "+capture"
+	j.InputPath = input
+	j.OutputPath = output
+	j.RetainOutput = true
+	j.DiscardOutput = false
+	j.Progress = nil
+	read, mapf := inner.Reader, inner.Map
+	var block uint64
+	var keyBuf []byte
+	// The reader and map of one Job instance always run synchronously
+	// within a single task closure (and parallel tasks get independent
+	// Fresh clones), so the block tag handoff needs no locking.
+	j.Reader = func(data []byte, yield func(rec []byte)) {
+		id, rest, ok := cutTag(data)
+		if !ok {
+			panic(fmt.Sprintf("onepass: capture input block for %q is missing its delta tag", inner.Name))
+		}
+		block = uint64(id)
+		read(rest, yield)
+	}
+	j.Map = func(rec []byte, emit Emit) {
+		mapf(rec, func(k, v []byte) {
+			keyBuf = binary.AppendUvarint(keyBuf[:0], block)
+			keyBuf = append(keyBuf, k...)
+			emit(keyBuf, v)
+		})
+	}
+	if inner.Monoid == nil {
+		j.Reduce = frameListReducer()
+	}
+	if f := inner.Fresh; f != nil {
+		j.Fresh = func() Job { return captureJob(f(), input, output) }
+	}
+	return j
+}
+
+// frameListReducer emits a key's values as one length-framed value — the
+// holistic per-block partial.
+func frameListReducer() engine.ReduceFunc {
+	var out []byte
+	return func(key []byte, vals [][]byte, emit Emit) {
+		out = out[:0]
+		for _, v := range vals {
+			out = kv.AppendFramed(out, v)
+		}
+		emit(key, out)
+	}
+}
+
+// parseCapture splits a capture run's retained output into per-block
+// per-key partials.
+func parseCapture(out map[string]string) (map[int]map[string][]byte, error) {
+	blocks := make(map[int]map[string][]byte)
+	for k, v := range out {
+		id, n := binary.Uvarint([]byte(k))
+		if n <= 0 {
+			return nil, fmt.Errorf("onepass: capture output key %q has no block prefix", k)
+		}
+		m := blocks[int(id)]
+		if m == nil {
+			m = make(map[string][]byte)
+			blocks[int(id)] = m
+		}
+		m[k[n:]] = []byte(v)
+	}
+	return blocks, nil
+}
+
+// mergeJob re-reduces preserved state with a real engine run: the input is
+// the encoded merge file (one kv pair per key-source), the map forwards
+// pairs unchanged, and the reduce either passes a cached final through
+// ('F') or regroups a key's per-block partials in block order and applies
+// the original reduce ('P').
+func mergeJob(inner Job, statePath, outPath string) Job {
+	j := Job{
+		Name:        inner.Name + "+merge",
+		InputPath:   statePath,
+		BinaryInput: true,
+		Reader:      pairRecordReader,
+		Map:         pairForwardMap,
+		Reduce:      mergeReducer(inner),
+		Reducers:    inner.Reducers,
+		OutputPath:  outPath,
+		// The merged answer is the run's deliverable: retained for checksum
+		// comparison and finals caching.
+		RetainOutput:     true,
+		OrderInsensitive: true,
+		Costs:            inner.Costs,
+		MemoryPerTask:    inner.MemoryPerTask,
+	}
+	if f := inner.Fresh; f != nil {
+		j.Fresh = func() Job { return mergeJob(f(), statePath, outPath) }
+	}
+	return j
+}
+
+// pairRecordReader yields each encoded kv pair of a state block as one
+// record.
+func pairRecordReader(block []byte, yield func(rec []byte)) {
+	for rest := block; len(rest) > 0; {
+		_, _, n := kv.DecodePair(rest)
+		if n == 0 {
+			panic("onepass: truncated pair in delta merge input")
+		}
+		yield(rest[:n])
+		rest = rest[n:]
+	}
+}
+
+// pairForwardMap re-emits an encoded pair's key and marked value.
+func pairForwardMap(rec []byte, emit Emit) {
+	k, v, n := kv.DecodePair(rec)
+	if n == 0 {
+		return
+	}
+	emit(k, v)
+}
+
+// mergeReducer rebuilds a key's reduce from its preserved sources. It also
+// enforces the contract preserved finals depend on: the inner reduce must
+// emit exactly one pair, under its own key — otherwise a cached final could
+// silently misrepresent the key on the next delta.
+func mergeReducer(inner Job) engine.ReduceFunc {
+	reduce := inner.Reduce
+	holistic := inner.Monoid == nil
+	type part struct {
+		block   int
+		payload []byte
+	}
+	var parts []part
+	var vals [][]byte
+	return func(key []byte, vs [][]byte, emit Emit) {
+		if len(vs) == 1 && len(vs[0]) > 0 && vs[0][0] == incr.MarkFinal {
+			emit(key, vs[0][1:])
+			return
+		}
+		parts = parts[:0]
+		for _, v := range vs {
+			b, payload, err := incr.DecodePartial(v)
+			if err != nil {
+				panic(fmt.Sprintf("onepass: delta merge key %q: %v", key, err))
+			}
+			parts = append(parts, part{block: b, payload: payload})
+		}
+		// Partials regroup in block order — deterministic no matter which
+		// engine captured them or how the merge run grouped the pairs.
+		sort.Slice(parts, func(i, j int) bool { return parts[i].block < parts[j].block })
+		vals = vals[:0]
+		for _, p := range parts {
+			if holistic {
+				if !kv.Frames(p.payload, func(b []byte) { vals = append(vals, b) }) {
+					panic(fmt.Sprintf("onepass: corrupt framed partial for key %q", key))
+				}
+			} else {
+				vals = append(vals, p.payload)
+			}
+		}
+		emitted := 0
+		reduce(key, vals, func(k, v []byte) {
+			if !bytes.Equal(k, key) {
+				panic(fmt.Sprintf("onepass: delta-capable reduce for %q emitted foreign key %q", key, k))
+			}
+			if emitted++; emitted > 1 {
+				panic(fmt.Sprintf("onepass: delta-capable reduce for %q emitted more than one pair", key))
+			}
+			emit(k, v)
+		})
+	}
+}

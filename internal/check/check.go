@@ -4,8 +4,10 @@
 // output, that the output matches the single-threaded in-memory reference,
 // that faulted runs converge to the clean answer, that monoid workloads
 // produce the same answer with the monoid stripped (the monoid-off
-// equivalence axis), and that chained multi-stage pipelines carry traces
-// and faults into every stage. All runs execute with the runtime invariant
+// equivalence axis), that incremental re-runs over a fuzzed delta match a
+// full re-run over the evolved input byte for byte (the delta equivalence
+// axis), and that chained multi-stage pipelines carry traces and faults
+// into every stage. All runs execute with the runtime invariant
 // audits armed, so any conservation or leak violation at a fuzzed
 // configuration also fails the check.
 package check
@@ -39,7 +41,7 @@ type Options struct {
 type Failure struct {
 	Seed   int64
 	Engine string
-	Stage  string // "clean", "reference", "monoid-off", "faulted", "chained", "chained-faulted"
+	Stage  string // "clean", "reference", "monoid-off", "delta", "faulted", "chained", "chained-faulted"
 	Detail string
 	Tuple  string
 }
@@ -152,6 +154,10 @@ func CheckSeed(seed int64, parallelism int) (runs int, fails []Failure) {
 		}
 	}
 
+	if t.Delta != nil {
+		runs += checkDelta(t, add)
+	}
+
 	if seed%2 == 0 {
 		for _, e := range onepass.Engines() {
 			base := clean[e]
@@ -179,6 +185,48 @@ func CheckSeed(seed int64, parallelism int) (runs int, fails []Failure) {
 		runs += checkChained(t, add)
 	}
 	return runs, fails
+}
+
+// checkDelta is the delta equivalence axis: one engine per seed (rotating
+// through the registry so the sweep covers all of them) applies the tuple's
+// fuzzed delta incrementally — priming preserved state on the base, then
+// re-running over changed blocks only — and must reproduce a plain full run
+// over the evolved dataset byte for byte, checksum and grouped output both.
+func checkDelta(t Tuple, add func(eng, stage, format string, args ...any)) (runs int) {
+	engines := onepass.Engines()
+	e := engines[int(t.Seed)%len(engines)]
+	cfg := t.Cfg
+	cfg.Engine = e
+	data := onepass.Dataset{Path: "input/" + t.Workload.Name, Size: t.Input, Gen: t.Workload.Gen}
+	dr, err := onepass.RunDelta(cfg, data, t.Workload.Job, *t.Delta)
+	runs += 2 // base prime + incremental re-run
+	if err != nil {
+		add(e.String(), "delta", "%v", err)
+		return runs
+	}
+	cl := onepass.NewCluster(cfg)
+	v2 := onepass.DeltaDataset(data, *t.Delta, cfg.BlockSize)
+	if err := cl.Register(v2); err != nil {
+		add(e.String(), "delta", "registering evolved dataset: %v", err)
+		return runs
+	}
+	job := t.Workload.Job
+	job.InputPath = v2.Path
+	job.RetainOutput = true
+	full, err := cl.RunJob(job)
+	runs++
+	if err != nil {
+		add(e.String(), "delta", "full re-run: %v", err)
+		return runs
+	}
+	if dr.Incremental.OutputChecksum != full.OutputChecksum {
+		add(e.String(), "delta", "incremental checksum %016x != full re-run %016x",
+			dr.Incremental.OutputChecksum, full.OutputChecksum)
+	}
+	if diff := diffOutput(dr.Incremental.Output, full.Output); diff != "" {
+		add(e.String(), "delta", "incremental output disagrees with full re-run: %s", diff)
+	}
+	return runs
 }
 
 // checkChained runs the two-stage page-count -> top-k pipeline on every

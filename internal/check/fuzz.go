@@ -19,15 +19,23 @@ type Tuple struct {
 	Clicks onepass.ClickConfig
 	Input  int64
 	Cfg    onepass.Config
+	// Delta is the fuzzed input evolution for the incremental-vs-full
+	// equivalence axis; nil for non-click workloads (deltas mutate click
+	// records, so only click-log inputs can evolve).
+	Delta *onepass.Delta
 }
 
 // String renders the tuple compactly for failure reports.
 func (t Tuple) String() string {
 	c := t.Cfg
-	return fmt.Sprintf("seed=%d workload=%s input=%dKB nodes=%d cores=%d reducers=%d mem=%dKB block=%dKB chunk=%dKB fanin=%d buckets=%d hotkeys=%d ssd=%v",
+	s := fmt.Sprintf("seed=%d workload=%s input=%dKB nodes=%d cores=%d reducers=%d mem=%dKB block=%dKB chunk=%dKB fanin=%d buckets=%d hotkeys=%d ssd=%v",
 		t.Seed, t.Workload.Name, t.Input>>10, c.Nodes, c.CoresPerNode, c.Reducers,
 		c.MemoryPerTask>>10, c.BlockSize>>10, c.ChunkBytes>>10, c.FanIn,
 		c.SpillBuckets, c.HotKeyCounters, c.SSDIntermediate)
+	if t.Delta != nil {
+		s += fmt.Sprintf(" delta=%.3f/seed=%d", t.Delta.DirtyFrac, t.Delta.Seed)
+	}
+	return s
 }
 
 // FuzzTuple derives a Tuple deterministically from seed. Ranges are chosen
@@ -60,6 +68,7 @@ func FuzzTuple(seed int64) Tuple {
 	cc.URLs = 100 + rng.Intn(300)
 
 	var w *onepass.Workload
+	clicks := true
 	switch rng.Intn(4) {
 	case 0:
 		w = onepass.Sessionization(cc)
@@ -71,8 +80,16 @@ func FuzzTuple(seed int64) Tuple {
 		dc := onepass.DefaultDocConfig()
 		dc.Vocab = 2000 + rng.Intn(4000)
 		w = onepass.InvertedIndex(dc)
+		clicks = false
 	}
-	return Tuple{Seed: seed, Workload: w, Clicks: cc, Input: input, Cfg: cfg}
+	t := Tuple{Seed: seed, Workload: w, Clicks: cc, Input: input, Cfg: cfg}
+	// Delta draws come last so the streams feeding every pre-existing field
+	// stay aligned with older tuple derivations, seed for seed.
+	if clicks {
+		d := onepass.DefaultDelta(cc, rng.Uint64(), 0.02+0.3*rng.Float64())
+		t.Delta = &d
+	}
+	return t
 }
 
 // ReferenceBlocks regenerates exactly the blocks the DFS would register for

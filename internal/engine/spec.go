@@ -104,6 +104,15 @@ type Job struct {
 	// system-utilities column.
 	Progress func(phase string, done, total int)
 
+	// OrderInsensitive declares that Reduce's output is independent of the
+	// order of vals — a multiset function, not a sequence function (e.g. a
+	// reducer that sorts its values before emitting). Monoid-declared jobs
+	// are order-insensitive by law; this flag extends the same promise to
+	// holistic reducers, which is what lets the incremental re-run path
+	// regroup a key's preserved per-block value lists in block order rather
+	// than in the original engine's arrival order.
+	OrderInsensitive bool
+
 	// Speculation enables speculative execution of straggling map tasks:
 	// once the task queue drains, idle slots re-run the oldest in-flight
 	// tasks and the first attempt to finish wins (Hadoop's backup tasks;

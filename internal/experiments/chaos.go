@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"onepass"
 	"onepass/internal/engine"
 	"onepass/internal/faults"
 )
@@ -11,11 +12,15 @@ import (
 // which nodes fail and when, but any single seed reproduces byte for byte.
 const chaosSeed = 7
 
-// chaosInputGB keeps the ten-run sweep (five engines, fault-free + faulted)
-// affordable next to the 256 GB headline experiments.
+// chaosInputGB keeps the twelve-run sweep (all six engines, fault-free +
+// faulted) affordable next to the 256 GB headline experiments.
 const chaosInputGB = 64
 
-var chaosEngines = []string{"hadoop", "hop", "hash-hybrid", "hash-incremental", "hash-hotkey"}
+// chaosEngines is the full engine registry: every engine — the resident
+// in-memory one included — must make injected faults invisible in the
+// answer. Deriving the list keeps the sweep in sync as engines are added
+// (TestSweepEnginesMatchRegistry enforces it).
+var chaosEngines = onepass.EngineNames()
 
 func chaosBaseSpec(eng string) runSpec {
 	return runSpec{Workload: "sessionization", Engine: eng, InputGB: chaosInputGB}

@@ -56,6 +56,7 @@ func Experiments() []Experiment {
 		{ID: "Ablation (hot-key memory)", Specs: ablationHotKeyMemorySpecs, Render: (*Session).AblationHotKeyMemory},
 		{ID: "Resident (iterative)", Render: (*Session).ResidentIterative},
 		{ID: "Service (saturation)", Render: (*Session).ServiceSaturation},
+		{ID: "Incremental (delta sweep)", Render: (*Session).IncrementalDelta},
 	}
 }
 

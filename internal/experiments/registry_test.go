@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"onepass"
+)
+
+// TestSweepEnginesMatchRegistry pins the full-registry sweeps to the engine
+// registry itself: a seventh engine must get chaos-recovery, service, and
+// delta coverage the moment it is registered, and a renamed engine must
+// break loudly here instead of silently dropping out of a sweep.
+func TestSweepEnginesMatchRegistry(t *testing.T) {
+	want := onepass.EngineNames()
+	for _, sweep := range []struct {
+		name    string
+		engines []string
+	}{
+		{"chaos", chaosEngines},
+		{"service", serviceEngines},
+		{"incremental", incrementalEngines},
+	} {
+		if len(sweep.engines) != len(want) {
+			t.Fatalf("%s sweep covers %d engines, registry has %d: %v vs %v",
+				sweep.name, len(sweep.engines), len(want), sweep.engines, want)
+		}
+		for i, e := range want {
+			if sweep.engines[i] != e {
+				t.Fatalf("%s sweep engine[%d] = %q, registry says %q",
+					sweep.name, i, sweep.engines[i], e)
+			}
+		}
+	}
+}
+
+// TestExecuteAcceptsEveryRegistryName: the run dispatcher must accept every
+// canonical registry spelling (plus the historical "hop" alias), so sweeps
+// built from EngineNames() cannot hit the unknown-engine panic that used to
+// fire on "resident".
+func TestExecuteAcceptsEveryRegistryName(t *testing.T) {
+	s := NewSession(testScale())
+	for _, eng := range append(onepass.EngineNames(), "hop") {
+		res := s.Run(runSpec{Workload: "per-user-count", Engine: eng, InputGB: 1})
+		if res.Makespan <= 0 {
+			t.Fatalf("%s: no makespan", eng)
+		}
+	}
+}

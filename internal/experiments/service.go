@@ -18,12 +18,16 @@ package experiments
 import (
 	"fmt"
 
+	"onepass"
 	"onepass/internal/loadgen"
 	"onepass/internal/service"
 	"onepass/internal/sim"
 )
 
-var serviceEngines = []string{"hadoop", "hop", "hash-hybrid", "hash-incremental", "hash-hotkey"}
+// serviceEngines is the full engine registry — every engine, resident
+// included, gets service-scheduler coverage (kept in sync by
+// TestSweepEnginesMatchRegistry).
+var serviceEngines = onepass.EngineNames()
 
 // serviceLoadMults are the offered-load multipliers of the calibrated
 // service rate: comfortably under, at, and far past the knee.

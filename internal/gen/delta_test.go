@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"onepass/internal/textfmt"
+)
+
+func testDelta(binary bool) Delta {
+	cc := DefaultClickConfig()
+	cc.Users = 500
+	cc.URLs = 200
+	cc.Binary = binary
+	return Delta{
+		Seed:       7,
+		DirtyFrac:  0.25,
+		UpdateFrac: 0.4,
+		DeleteFrac: 0.2,
+		AppendFrac: 0.1,
+		Clicks:     cc,
+	}
+}
+
+func countClicks(t *testing.T, binary bool, block []byte) int {
+	t.Helper()
+	n := 0
+	if binary {
+		for rest := block; len(rest) > 0; {
+			_, sz := textfmt.ParseClickBinary(rest)
+			if sz == 0 {
+				t.Fatalf("unparseable binary tail of %d bytes", len(rest))
+			}
+			rest = rest[sz:]
+			n++
+		}
+		return n
+	}
+	for rest := block; len(rest) > 0; {
+		line, next, ok := textfmt.NextLine(rest)
+		if !ok {
+			t.Fatalf("unterminated text tail %q", rest)
+		}
+		if _, err := textfmt.ParseClickText(line); err != nil {
+			t.Fatalf("bad click line: %v", err)
+		}
+		rest = next
+		n++
+	}
+	return n
+}
+
+// TestDeltaReplayable: every delta-derived block is a pure function of
+// (Seed, block) — repeated materialization yields identical bytes.
+func TestDeltaReplayable(t *testing.T) {
+	for _, binary := range []bool{false, true} {
+		d := testDelta(binary)
+		const size = 4 << 10
+		for b := 0; b < 8; b++ {
+			if !bytes.Equal(d.MutatedBlock(b, size), d.MutatedBlock(b, size)) {
+				t.Fatalf("binary=%v: MutatedBlock(%d) not replayable", binary, b)
+			}
+			if !bytes.Equal(d.AppendedBlock(b, 8, size), d.AppendedBlock(b, 8, size)) {
+				t.Fatalf("binary=%v: AppendedBlock(%d) not replayable", binary, b)
+			}
+		}
+	}
+}
+
+// TestDeltaDirtyBlocks: selection is in range, sorted, non-empty whenever
+// DirtyFrac > 0, and roughly proportional to DirtyFrac at scale.
+func TestDeltaDirtyBlocks(t *testing.T) {
+	d := testDelta(false)
+	const nBase = 1000
+	dirty := d.DirtyBlocks(nBase)
+	if len(dirty) == 0 {
+		t.Fatal("no dirty blocks at DirtyFrac=0.25")
+	}
+	for i, b := range dirty {
+		if b < 0 || b >= nBase {
+			t.Fatalf("dirty block %d out of range", b)
+		}
+		if i > 0 && dirty[i-1] >= b {
+			t.Fatalf("dirty blocks not sorted/unique: %v", dirty[:i+1])
+		}
+	}
+	if got := len(dirty); got < nBase/8 || got > nBase/2 {
+		t.Fatalf("dirty count %d wildly off 0.25·%d", got, nBase)
+	}
+	// A tiny fraction over a tiny file still forces at least one block.
+	d.DirtyFrac = 1e-9
+	if got := d.DirtyBlocks(4); len(got) != 1 {
+		t.Fatalf("forced dirty block: got %v", got)
+	}
+	d.DirtyFrac = 0
+	if got := d.DirtyBlocks(nBase); got != nil {
+		t.Fatalf("DirtyFrac=0 selected %v", got)
+	}
+}
+
+// TestDeltaMutation: mutated blocks parse as clicks, deletes shrink the
+// record count, updates change bytes while keeping timestamps aligned.
+func TestDeltaMutation(t *testing.T) {
+	for _, binary := range []bool{false, true} {
+		d := testDelta(binary)
+		const size = 16 << 10
+		base := d.Clicks.Block(0, size)
+		mut := d.MutatedBlock(0, size)
+		if bytes.Equal(base, mut) {
+			t.Fatalf("binary=%v: mutation changed nothing", binary)
+		}
+		nb, nm := countClicks(t, binary, base), countClicks(t, binary, mut)
+		if nm >= nb {
+			t.Fatalf("binary=%v: DeleteFrac=0.2 kept %d of %d records", binary, nm, nb)
+		}
+		if nm < nb/2 {
+			t.Fatalf("binary=%v: only %d of %d records survived a 20%% delete", binary, nm, nb)
+		}
+	}
+}
+
+// TestDeltaAppend: appended blocks parse, continue the base timeline, and
+// AppendCount rounds up with a floor of one.
+func TestDeltaAppend(t *testing.T) {
+	d := testDelta(false)
+	const size = 8 << 10
+	const nBase = 10
+	app := d.AppendedBlock(0, nBase, size)
+	countClicks(t, false, app)
+	base := d.Clicks.Block(0, size)
+	if bytes.Equal(app, base) {
+		t.Fatal("appended block replays the base generator stream")
+	}
+	line, _, _ := textfmt.NextLine(app)
+	c, err := textfmt.ParseClickText(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Time < d.Clicks.BaseTime+uint32(nBase) {
+		t.Fatalf("appended timestamp %d precedes end of base timeline %d",
+			c.Time, d.Clicks.BaseTime+uint32(nBase))
+	}
+	if got := d.AppendCount(nBase); got != 1 {
+		t.Fatalf("AppendCount(%d) at 0.1 = %d, want 1", nBase, got)
+	}
+	d.AppendFrac = 0.5
+	if got := d.AppendCount(nBase); got != 5 {
+		t.Fatalf("AppendCount(%d) at 0.5 = %d, want 5", nBase, got)
+	}
+	d.AppendFrac = 0
+	if got := d.AppendCount(nBase); got != 0 {
+		t.Fatalf("AppendCount(%d) at 0 = %d, want 0", nBase, got)
+	}
+}
+
+// TestDeltaApply: the changed-file generator leaves clean blocks
+// byte-identical to the base, substitutes mutations for dirty blocks, and
+// serves appended blocks past the base.
+func TestDeltaApply(t *testing.T) {
+	d := testDelta(false)
+	const size = 4 << 10
+	const nBase = 20
+	gen := d.Apply(nBase)
+	dirty := make(map[int]bool)
+	for _, b := range d.DirtyBlocks(nBase) {
+		dirty[b] = true
+	}
+	for b := 0; b < nBase; b++ {
+		want := d.Clicks.Block(b, size)
+		if dirty[b] {
+			want = d.MutatedBlock(b, size)
+		}
+		if !bytes.Equal(gen(b, size), want) {
+			t.Fatalf("Apply block %d (dirty=%v) mismatches", b, dirty[b])
+		}
+	}
+	if !bytes.Equal(gen(nBase+1, size), d.AppendedBlock(1, nBase, size)) {
+		t.Fatal("Apply appended block mismatches AppendedBlock")
+	}
+}
+
+// TestDeltaValidate rejects out-of-range fractions.
+func TestDeltaValidate(t *testing.T) {
+	d := testDelta(false)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := d
+	bad.DirtyFrac = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("DirtyFrac=1.5 accepted")
+	}
+	bad = d
+	bad.UpdateFrac, bad.DeleteFrac = 0.8, 0.4
+	if bad.Validate() == nil {
+		t.Fatal("UpdateFrac+DeleteFrac>1 accepted")
+	}
+	bad = d
+	bad.Clicks.Users = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero Users accepted")
+	}
+}

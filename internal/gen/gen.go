@@ -65,9 +65,7 @@ func (c ClickConfig) Block(block int, size int64) []byte {
 	ts := c.BaseTime + uint32(block)
 	var urlBuf, rec []byte
 	for {
-		urlBuf = urlBuf[:0]
-		urlBuf = append(urlBuf, "/en/page/"...)
-		urlBuf = strconv.AppendUint(urlBuf, urls.Uint64(), 10)
+		urlBuf = appendURL(urlBuf[:0], urls.Uint64())
 		click := textfmt.Click{Time: ts, User: uint32(users.Uint64()), URL: urlBuf}
 		rec = rec[:0]
 		if c.Binary {

@@ -1,0 +1,158 @@
+// Package incr holds the preserved reduce-side state of the incremental
+// re-run path (i2MapReduce-style): per-(block, key) partial aggregates
+// captured from a tagged run, plus the per-key finals of the last merge.
+// The structures are pure data — the root package's delta runner decides
+// how they are produced (a capture job), persisted (a spill-backed DFS
+// write for the disk engines, a memory-resident block for the resident
+// engine), and consumed (a merge job whose input this package encodes).
+package incr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"onepass/internal/kv"
+)
+
+// Merge-input value markers: the first byte of every value in the encoded
+// merge input says whether the rest is a cached final ('F', the key was
+// untouched by the delta) or one block's partial aggregate ('P', followed
+// by uvarint(block) then the partial payload).
+const (
+	MarkFinal   = 'F'
+	MarkPartial = 'P'
+)
+
+// State is one job's preserved aggregation state between runs. It only
+// composes under the aggregation law it was built with, so it is keyed by
+// a monoid identity string: replaying it under a different monoid (or a
+// different holistic reducer) is a checked error, not silent corruption.
+type State struct {
+	monoidKey string
+	blocks    map[int]map[string][]byte // block → key → partial aggregate
+	finals    map[string][]byte         // key → final value of the last merge
+}
+
+// New returns empty state bound to an aggregation law's identity string.
+func New(monoidKey string) *State {
+	return &State{
+		monoidKey: monoidKey,
+		blocks:    make(map[int]map[string][]byte),
+		finals:    make(map[string][]byte),
+	}
+}
+
+// MonoidKey returns the aggregation-law identity this state composes under.
+func (s *State) MonoidKey() string { return s.monoidKey }
+
+// CheckKey rejects partials produced under a different aggregation law.
+func (s *State) CheckKey(monoidKey string) error {
+	if monoidKey != s.monoidKey {
+		return fmt.Errorf("incr: state preserved under %q cannot absorb partials from %q",
+			s.monoidKey, monoidKey)
+	}
+	return nil
+}
+
+// ReplaceBlock installs block b's new per-key partials, replacing whatever
+// the block held before (nil/empty partials removes the block — every
+// record deleted). Keys present before or after are recorded in affected
+// (when non-nil): they are exactly the keys whose groups must be re-folded.
+func (s *State) ReplaceBlock(b int, partials map[string][]byte, affected map[string]bool) {
+	for k := range s.blocks[b] {
+		if affected != nil {
+			affected[k] = true
+		}
+	}
+	for k := range partials {
+		if affected != nil {
+			affected[k] = true
+		}
+	}
+	if len(partials) == 0 {
+		delete(s.blocks, b)
+		return
+	}
+	s.blocks[b] = partials
+}
+
+// SetFinals replaces the cached finals wholesale with a merge run's retained
+// output — called after every merge so unaffected keys can be served from
+// cache on the next delta.
+func (s *State) SetFinals(out map[string]string) {
+	s.finals = make(map[string][]byte, len(out))
+	for k, v := range out {
+		s.finals[k] = []byte(v)
+	}
+}
+
+// Keys returns the number of distinct keys with live partials.
+func (s *State) Keys() int {
+	seen := make(map[string]bool)
+	for _, partials := range s.blocks {
+		for k := range partials {
+			seen[k] = true
+		}
+	}
+	return len(seen)
+}
+
+// Blocks returns the number of blocks with live partials.
+func (s *State) Blocks() int { return len(s.blocks) }
+
+// MergeInput encodes the merge job's input: one kv pair per (key, source),
+// keys ascending. An affected key contributes its partials — one 'P' value
+// per holding block, blocks ascending, so the merge input is deterministic
+// regardless of map iteration or capture order. An unaffected key
+// contributes its single cached 'F' final. affected == nil means every key
+// is affected (the priming run, before any final exists).
+func (s *State) MergeInput(affected map[string]bool) ([]byte, error) {
+	keys := make(map[string][]int) // key → holding blocks
+	for b, partials := range s.blocks {
+		for k := range partials {
+			keys[k] = append(keys[k], b)
+		}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	var out, val []byte
+	for _, k := range sorted {
+		if affected != nil && !affected[k] {
+			final, ok := s.finals[k]
+			if !ok {
+				return nil, fmt.Errorf("incr: key %q unaffected but has no cached final", k)
+			}
+			val = append(val[:0], MarkFinal)
+			val = append(val, final...)
+			out = kv.AppendPair(out, []byte(k), val)
+			continue
+		}
+		blocks := keys[k]
+		sort.Ints(blocks)
+		for _, b := range blocks {
+			val = append(val[:0], MarkPartial)
+			val = binary.AppendUvarint(val, uint64(b))
+			val = append(val, s.blocks[b][k]...)
+			out = kv.AppendPair(out, []byte(k), val)
+		}
+	}
+	return out, nil
+}
+
+// DecodePartial splits a 'P'-marked merge value into its block index and
+// partial payload.
+func DecodePartial(val []byte) (block int, payload []byte, err error) {
+	if len(val) == 0 || val[0] != MarkPartial {
+		return 0, nil, fmt.Errorf("incr: not a partial value (marker %q)", val[:min(1, len(val))])
+	}
+	b, n := binary.Uvarint(val[1:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("incr: truncated partial block index")
+	}
+	return int(b), val[1+n:], nil
+}

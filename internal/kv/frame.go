@@ -1,0 +1,38 @@
+package kv
+
+import "encoding/binary"
+
+// Value framing: a length-prefixed concatenation of opaque byte strings.
+// The incremental re-run path uses it to carry a whole value *list* as one
+// engine value — a holistic job's per-block partial is the framed multiset
+// of its raw map-output values — but the encoding is workload-agnostic.
+
+// AppendFramed appends uvarint(len(b)) + b to dst and returns dst.
+func AppendFramed(dst, b []byte) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(b)))
+	dst = append(dst, hdr[:n]...)
+	return append(dst, b...)
+}
+
+// Frames calls fn for each framed byte string in buf, in order. It reports
+// whether buf was consumed exactly (no partial trailing frame). The yielded
+// slices alias buf.
+func Frames(buf []byte, fn func(b []byte)) bool {
+	for len(buf) > 0 {
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < l {
+			return false
+		}
+		fn(buf[n : n+int(l)])
+		buf = buf[n+int(l):]
+	}
+	return true
+}
+
+// CountFrames returns the number of complete frames at the front of buf.
+func CountFrames(buf []byte) int {
+	n := 0
+	Frames(buf, func([]byte) { n++ })
+	return n
+}
